@@ -1,0 +1,352 @@
+// Benchmarks regenerating every quantitative artifact of the paper.
+// Each BenchmarkE* runs one experiment per iteration and logs the
+// reproduced table, so `go test -bench=. -benchmem` output is the
+// reproduction record (EXPERIMENTS.md catalogues expected shapes).
+// Micro-benchmarks for the hot substrates follow.
+package lattice_test
+
+import (
+	"testing"
+
+	"lattice/internal/estimate"
+	"lattice/internal/experiments"
+	"lattice/internal/forest"
+	"lattice/internal/phylo"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// BenchmarkFig2VariableImportance reproduces Figure 2 at the paper's
+// full configuration: 150 training jobs, 10^4 trees (E1 + E2).
+func BenchmarkFig2VariableImportance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(1, 150, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(r.Importance[0].PctIncMSE, "top-%IncMSE")
+			b.ReportMetric(r.Stats.PctVarExplained, "%var")
+		}
+	}
+}
+
+// BenchmarkE3CrossValidation reproduces the cross-validation claim.
+func BenchmarkE3CrossValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CrossValidation(2, 150, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(r.Metrics.Correlation, "cv-corr")
+		}
+	}
+}
+
+// BenchmarkE3SchedulingEffect measures scheduling with vs without the
+// runtime model.
+func BenchmarkE3SchedulingEffect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SchedulingEffect(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkE4SchedulerRanking compares naive / speed-aware / full
+// ranking policies.
+func BenchmarkE4SchedulerRanking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SchedulerRanking(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			naive := r.Results["naive"].Makespan.Hours()
+			full := r.Results["full"].Makespan.Hours()
+			if full > 0 {
+				b.ReportMetric(naive/full, "naive/full-makespan")
+			}
+		}
+	}
+}
+
+// BenchmarkE5StabilityGating measures the stability criterion on a
+// long-job workload.
+func BenchmarkE5StabilityGating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.StabilityGating(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkE6SpeedCalibration recovers configured resource speeds with
+// benchmark jobs.
+func BenchmarkE6SpeedCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SpeedCalibration(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(100*r.MaxRelError, "max-err-%")
+		}
+	}
+}
+
+// BenchmarkE7BoincDeadlines compares manual vs estimate-driven
+// workunit deadlines.
+func BenchmarkE7BoincDeadlines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.BoincDeadlines(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(r.Fixed.Hours()/r.EstimateDriven.Hours(), "latency-ratio")
+		}
+	}
+}
+
+// BenchmarkE8WorkFetch measures scheduler-RPC efficiency with and
+// without estimates.
+func BenchmarkE8WorkFetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WorkFetch(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			if r.Informed > 0 {
+				b.ReportMetric(r.Blind/r.Informed, "rpc-reduction")
+			}
+		}
+	}
+}
+
+// BenchmarkE9ReplicateBundling measures overhead amortization for very
+// short jobs.
+func BenchmarkE9ReplicateBundling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ReplicateBundling(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkE10PortalScale runs the maximal 2000-replicate submission
+// across deployment scales.
+func BenchmarkE10PortalScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PortalScale(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(float64(r.Single)/float64(r.Grid), "grid-speedup")
+		}
+	}
+}
+
+// BenchmarkE11SystemScale verifies the paper-scale federation claims.
+func BenchmarkE11SystemScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SystemScale(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(r.FifteenCPUYears.Hours()/24, "15cpu-yr-days")
+		}
+	}
+}
+
+// BenchmarkE13ContinuousRetraining measures model drift with and
+// without retraining.
+func BenchmarkE13ContinuousRetraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ContinuousRetraining(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkE14CheckpointAlternative compares estimate gating with
+// 1-hour checkpoint cycling.
+func BenchmarkE14CheckpointAlternative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CheckpointAlternative(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkAblationMtry sweeps covariate subsampling.
+func BenchmarkAblationMtry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationMtry(13, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkAblationForestSize sweeps ensemble size.
+func BenchmarkAblationForestSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationForestSize(14, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// BenchmarkAblationImportanceMethod compares permutation and
+// split-gain importance.
+func BenchmarkAblationImportanceMethod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationImportanceMethod(15, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot substrates ---
+
+// BenchmarkLikelihoodNucleotide measures one pruning pass (GTR+Γ4,
+// 16 taxa, ~500 patterns).
+func BenchmarkLikelihoodNucleotide(b *testing.B) {
+	rng := sim.NewRNG(1)
+	m, err := phylo.NewGTR([6]float64{1.2, 3.5, 0.9, 1.1, 4.2, 1}, []float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, _ := phylo.NewSiteRates(phylo.RateGamma, 0.6, 0, 4)
+	tree := phylo.RandomTree(phylo.TaxonNames(16), 0.1, rng)
+	al, err := phylo.SimulateAlignment(tree, m, rs, 800, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, _ := al.Compile()
+	lk, _ := phylo.NewLikelihood(pd, m, rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk.LogLikelihood(tree)
+	}
+	b.ReportMetric(lk.Work/float64(b.N), "cells/op")
+}
+
+// BenchmarkGASearchGeneration measures GA throughput on a small
+// search.
+func BenchmarkGASearchGeneration(b *testing.B) {
+	rng := sim.NewRNG(2)
+	m, _ := phylo.NewJC69()
+	rs, _ := phylo.NewSiteRates(phylo.RateHomogeneous, 0, 0, 1)
+	tree := phylo.RandomTree(phylo.TaxonNames(10), 0.1, rng)
+	al, _ := phylo.SimulateAlignment(tree, m, rs, 300, rng)
+	pd, _ := al.Compile()
+	cfg := phylo.DefaultSearchConfig()
+	cfg.MaxGenerations = 50
+	cfg.StagnationGenerations = 50
+	cfg.AttachmentsPerTaxon = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := phylo.Search(pd, m, rs, al.Names, cfg, sim.NewRNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestTrain measures forest training at paper scale (150
+// jobs, 9 predictors).
+func BenchmarkForestTrain(b *testing.B) {
+	gen := workload.NewGenerator(3)
+	specs, secs := gen.TrainingJobs(150)
+	ds := &forest.Dataset{Schema: estimate.Schema()}
+	for i := range specs {
+		if err := ds.Append(estimate.Features(&specs[i]), secs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forest.Train(ds, forest.Config{NumTrees: 1000, MTry: 3, MinLeafSize: 5, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestPredict measures single predictions.
+func BenchmarkForestPredict(b *testing.B) {
+	gen := workload.NewGenerator(4)
+	est, err := estimate.Bootstrap(estimate.DefaultConfig(), gen, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := gen.Job()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Predict(&spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEngine measures raw event throughput of the
+// discrete-event kernel.
+func BenchmarkSimEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count < 100000 {
+				eng.Schedule(1, tick)
+			}
+		}
+		eng.Schedule(1, tick)
+		eng.Run()
+	}
+	b.ReportMetric(100000, "events/op")
+}

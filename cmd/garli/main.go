@@ -1,0 +1,194 @@
+// Command garli is the standalone phylogenetic analysis program: a
+// GARLI-style maximum-likelihood tree search over an input alignment,
+// with optional bootstrapping, majority-rule consensus, and
+// checkpointing — the application binary the grid distributes.
+//
+// Usage:
+//
+//	garli -data seqs.fasta -datatype nucleotide -model GTR \
+//	      -ratehet gamma -searchreps 2 -bootstrap 100 -out run1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lattice/internal/phylo"
+	"lattice/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "garli:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataPath   = flag.String("data", "", "input alignment (FASTA or PHYLIP)")
+		format     = flag.String("format", "fasta", "input format: fasta, phylip, or nexus")
+		datatype   = flag.String("datatype", "nucleotide", "nucleotide, aminoacid, or codon")
+		model      = flag.String("model", "GTR", "substitution model (JC69, K80, HKY85, GTR, poisson, empirical, GY94)")
+		ratehet    = flag.String("ratehet", "gamma", "rate heterogeneity: none, gamma, gamma+inv")
+		numCats    = flag.Int("numratecats", 4, "discrete gamma categories")
+		alpha      = flag.Float64("alpha", 0.5, "gamma shape")
+		pinv       = flag.Float64("pinv", 0.2, "proportion invariant (gamma+inv)")
+		searchReps = flag.Int("searchreps", 1, "independent search replicates")
+		streef     = flag.String("streefname", "stepwise", "starting tree: random, stepwise, user")
+		userTree   = flag.String("usertree", "", "Newick file with the user starting tree (streefname=user)")
+		attach     = flag.Int("attachmentspertaxon", 25, "stepwise attachment points per taxon")
+		bootstrap  = flag.Int("bootstrap", 0, "bootstrap replicates (0 = best-tree search only)")
+		gens       = flag.Int("generations", 500, "maximum GA generations per replicate")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "garli", "output file prefix")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-data is required")
+	}
+
+	dt, err := phylo.ParseDataType(*datatype)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var al *phylo.Alignment
+	switch strings.ToLower(*format) {
+	case "fasta":
+		al, err = phylo.ParseFASTA(f, dt)
+	case "phylip":
+		al, err = phylo.ParsePHYLIP(f, dt)
+	case "nexus":
+		var nf *phylo.NexusFile
+		nf, err = phylo.ParseNEXUS(f)
+		if err == nil {
+			if nf.Alignment == nil {
+				return fmt.Errorf("NEXUS file has no data matrix")
+			}
+			al = nf.Alignment
+			// The NEXUS FORMAT block overrides -datatype.
+			dt = al.Type
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := al.Validate(); err != nil {
+		return fmt.Errorf("validation mode: %w", err)
+	}
+	fmt.Printf("alignment: %d taxa × %d characters (%s)\n", al.NumTaxa(), al.Length(), dt)
+
+	subst, err := buildModel(dt, *model)
+	if err != nil {
+		return err
+	}
+	het, err := phylo.ParseRateHetKind(*ratehet)
+	if err != nil {
+		return err
+	}
+	rates, err := phylo.NewSiteRates(het, *alpha, *pinv, *numCats)
+	if err != nil {
+		return err
+	}
+	start, err := phylo.ParseStartingTreeKind(*streef)
+	if err != nil {
+		return err
+	}
+	pd, err := al.Compile()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled: %d unique site patterns\n", pd.NumPatterns())
+
+	cfg := phylo.DefaultSearchConfig()
+	cfg.SearchReps = *searchReps
+	cfg.StartingTree = start
+	cfg.AttachmentsPerTaxon = *attach
+	cfg.MaxGenerations = *gens
+	if start == phylo.StartUser {
+		if *userTree == "" {
+			return fmt.Errorf("-streefname user requires -usertree")
+		}
+		nw, err := os.ReadFile(*userTree)
+		if err != nil {
+			return err
+		}
+		idx := map[string]int{}
+		for i, n := range al.Names {
+			idx[n] = i
+		}
+		tr, err := phylo.ParseNewick(strings.TrimSpace(string(nw)), idx)
+		if err != nil {
+			return fmt.Errorf("user starting tree: %w", err)
+		}
+		cfg.UserTree = tr
+	}
+
+	rng := sim.NewRNG(*seed)
+	res, err := phylo.Search(pd, subst, rates, al.Names, cfg, rng.Stream("search"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best tree: lnL = %.4f (%d generations, %d evaluations, %.3g cell updates)\n",
+		res.BestLogL, res.Generations, res.Evaluations, res.Work)
+	if err := writeFile(*out+".best.tre", res.BestTree.Newick()+"\n"); err != nil {
+		return err
+	}
+
+	if *bootstrap > 0 {
+		fmt.Printf("bootstrapping: %d replicates\n", *bootstrap)
+		var trees []*phylo.Tree
+		for i := 0; i < *bootstrap; i++ {
+			bs := pd.Bootstrap(rng.Float64)
+			r, err := phylo.Search(bs, subst, rates, al.Names, cfg, rng.Stream(fmt.Sprintf("bs%d", i)))
+			if err != nil {
+				return err
+			}
+			trees = append(trees, r.BestTree)
+			if (i+1)%10 == 0 {
+				fmt.Printf("  %d/%d done\n", i+1, *bootstrap)
+			}
+		}
+		sup := phylo.NewSplitSupport(trees)
+		cons, err := sup.MajorityRuleConsensus(al.Names)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*out+".boot.con", cons.Newick()+"\n"); err != nil {
+			return err
+		}
+		fmt.Printf("majority-rule consensus written to %s.boot.con\n", *out)
+	}
+	fmt.Printf("results written with prefix %s\n", *out)
+	return nil
+}
+
+func buildModel(dt phylo.DataType, name string) (*phylo.Model, error) {
+	switch dt {
+	case phylo.Nucleotide:
+		return phylo.NucModelSpec{
+			Name:  name,
+			Kappa: 2.5,
+			Rates: [6]float64{1.2, 3.5, 0.9, 1.1, 4.2, 1},
+			Freqs: []float64{0.3, 0.2, 0.2, 0.3},
+		}.Build()
+	case phylo.AminoAcid:
+		return phylo.AAModelSpec{Name: name}.Build()
+	default:
+		return phylo.CodonModelSpec{Kappa: 2.0, Omega: 0.4}.Build()
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,61 @@
+// Command gridbench regenerates the paper's evaluation artifacts from
+// the command line — the same experiments the benchmark suite runs,
+// printed as tables.
+//
+// Usage:
+//
+//	gridbench -list
+//	gridbench -run fig2,e4,e5
+//	gridbench -run all -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list = flag.Bool("list", false, "list available experiments")
+		sel  = flag.String("run", "all", "comma-separated experiment IDs or 'all'")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.id, e.title)
+		}
+		return nil
+	}
+	want := map[string]bool{}
+	all := strings.EqualFold(*sel, "all")
+	for _, s := range strings.Split(*sel, ",") {
+		want[strings.ToLower(strings.TrimSpace(s))] = true
+	}
+	ran := 0
+	for _, e := range registry {
+		if !all && !want[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+		out, err := e.fn(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q; try -list", *sel)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+
+	"lattice/internal/experiments"
+)
+
+// experiment couples an ID to its runner.
+type experiment struct {
+	id    string
+	title string
+	fn    func(seed int64) (fmt.Stringer, error)
+}
+
+// registry lists every reproducible artifact in paper order.
+var registry = []experiment{
+	{"fig2", "Figure 2 — runtime predictor variable importance (10^4 trees)",
+		func(s int64) (fmt.Stringer, error) { return experiments.Fig2(s, 150, 10000) }},
+	{"e3cv", "E3a — cross-validation of runtime predictions",
+		func(s int64) (fmt.Stringer, error) { return experiments.CrossValidation(s, 150, 5) }},
+	{"e3", "E3b — scheduling with vs without runtime estimates",
+		func(s int64) (fmt.Stringer, error) { return experiments.SchedulingEffect(s) }},
+	{"e4", "E4 — scheduler ranking policies (naive / speed-aware / full)",
+		func(s int64) (fmt.Stringer, error) { return experiments.SchedulerRanking(s) }},
+	{"e5", "E5 — stability gating of long jobs",
+		func(s int64) (fmt.Stringer, error) { return experiments.StabilityGating(s) }},
+	{"e6", "E6 — resource speed calibration",
+		func(s int64) (fmt.Stringer, error) { return experiments.SpeedCalibration(s) }},
+	{"e7", "E7 — BOINC deadlines: manual vs estimate-driven",
+		func(s int64) (fmt.Stringer, error) { return experiments.BoincDeadlines(s) }},
+	{"e8", "E8 — BOINC work-request sizing",
+		func(s int64) (fmt.Stringer, error) { return experiments.WorkFetch(s) }},
+	{"e9", "E9 — replicate bundling for very short jobs",
+		func(s int64) (fmt.Stringer, error) { return experiments.ReplicateBundling(s) }},
+	{"e10", "E10 — 2000-replicate submission across deployment scales",
+		func(s int64) (fmt.Stringer, error) { return experiments.PortalScale(s) }},
+	{"e11", "E11 — federation at the paper's published scale",
+		func(s int64) (fmt.Stringer, error) { return experiments.SystemScale(s) }},
+	{"e13", "E13 — continuous model retraining under drift",
+		func(s int64) (fmt.Stringer, error) { return experiments.ContinuousRetraining(s) }},
+	{"e14", "E14 — estimate gating vs checkpoint cycling",
+		func(s int64) (fmt.Stringer, error) { return experiments.CheckpointAlternative(s) }},
+	{"abl-mtry", "Ablation — covariate subsampling (mtry)",
+		func(s int64) (fmt.Stringer, error) { return experiments.AblationMtry(s, 150) }},
+	{"abl-size", "Ablation — forest size",
+		func(s int64) (fmt.Stringer, error) { return experiments.AblationForestSize(s, 150) }},
+	{"abl-imp", "Ablation — permutation vs split-gain importance",
+		func(s int64) (fmt.Stringer, error) { return experiments.AblationImportanceMethod(s, 150) }},
+}

@@ -1,0 +1,3 @@
+module lattice
+
+go 1.22

@@ -1,0 +1,308 @@
+package boinc
+
+import (
+	"fmt"
+	"testing"
+
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+// testProject builds a server with n reliable, always-on-ish hosts.
+func testProject(t *testing.T, n int, cfg Config) (*sim.Engine, *Server) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	s, err := NewServer(eng, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s.AttachHost(&Host{
+			ID: i, Speed: 1.0, MemoryMB: 4096, Platform: lrm.WindowsX86,
+			MeanOn: 20 * sim.Hour, MeanOff: 2 * sim.Hour,
+			BufferSeconds: 8 * 3600, ReportLatency: sim.Minute,
+		})
+	}
+	return eng, s
+}
+
+// wu returns a job of the given reference-seconds with an accurate
+// estimate attached.
+func wu(id string, refSeconds float64) *lrm.Job {
+	return &lrm.Job{
+		ID:                  id,
+		Work:                refSeconds * lrm.ReferenceCellsPerSecond,
+		MemoryMB:            256,
+		EstimatedRefSeconds: refSeconds,
+		Platforms:           []lrm.Platform{lrm.WindowsX86, lrm.LinuxX86, lrm.DarwinX86},
+	}
+}
+
+func TestBatchCompletes(t *testing.T) {
+	eng, s := testProject(t, 20, DefaultConfig("test"))
+	done := 0
+	for i := 0; i < 100; i++ {
+		j := wu(fmt.Sprintf("j%d", i), 1800)
+		j.OnComplete = func(sim.Time) { done++ }
+		j.OnFail = func(_ sim.Time, r string) { t.Errorf("workunit failed: %s", r) }
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(30 * sim.Day))
+	if done != 100 {
+		t.Fatalf("%d of 100 workunits completed", done)
+	}
+	st := s.ProjectStats()
+	if st.SchedulerRPCs == 0 || st.ResultsIssued < 100 {
+		t.Errorf("implausible stats: %+v", st)
+	}
+}
+
+func TestDetachingHostsTriggerReissue(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(2)
+	cfg := DefaultConfig("churny")
+	s, err := NewServer(eng, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hosts detach frequently, losing assigned work.
+	for i := 0; i < 40; i++ {
+		s.AttachHost(&Host{
+			ID: i, Speed: 1.0, MemoryMB: 2048, Platform: lrm.WindowsX86,
+			MeanOn: 6 * sim.Hour, MeanOff: 6 * sim.Hour,
+			BufferSeconds: 4 * 3600, ReportLatency: sim.Minute,
+			PDetach: 0.15,
+		})
+	}
+	done := 0
+	for i := 0; i < 60; i++ {
+		j := wu(fmt.Sprintf("j%d", i), 3600)
+		j.DelayBound = 2 * sim.Day
+		j.OnComplete = func(sim.Time) { done++ }
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(60 * sim.Day))
+	st := s.ProjectStats()
+	if st.Detached == 0 {
+		t.Fatal("no hosts detached; churn model broken")
+	}
+	if st.ResultsTimedOut == 0 {
+		t.Fatal("no deadline timeouts despite detaching hosts")
+	}
+	if done < 55 {
+		t.Errorf("only %d of 60 workunits completed despite reissue", done)
+	}
+}
+
+func TestQuorumValidation(t *testing.T) {
+	cfg := DefaultConfig("redundant")
+	cfg.Quorum = 2
+	eng, s := testProject(t, 10, cfg)
+	done := 0
+	j := wu("q", 600)
+	j.OnComplete = func(sim.Time) { done++ }
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(10 * sim.Day))
+	if done != 1 {
+		t.Fatalf("workunit completed %d times, want exactly once", done)
+	}
+	st := s.ProjectStats()
+	if st.ResultsIssued < 2 {
+		t.Errorf("quorum 2 issued only %d results", st.ResultsIssued)
+	}
+	if st.WastedCPUSeconds <= 0 {
+		t.Error("redundant computing should record wasted CPU")
+	}
+}
+
+func TestTightDeadlineCausesTimeouts(t *testing.T) {
+	// Hosts with ~50% duty cycle and a deadline shorter than typical
+	// turnaround: expect reissues, but completion eventually.
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(3)
+	cfg := DefaultConfig("tight")
+	cfg.FeasibilityCheck = false // force the bad decision
+	s, err := NewServer(eng, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.AttachHost(&Host{
+			ID: i, Speed: 0.5, MemoryMB: 2048, Platform: lrm.WindowsX86,
+			MeanOn: 4 * sim.Hour, MeanOff: 12 * sim.Hour,
+			BufferSeconds: 24 * 3600, ReportLatency: sim.Hour,
+		})
+	}
+	for i := 0; i < 20; i++ {
+		j := wu(fmt.Sprintf("j%d", i), 4*3600) // 8 h on these hosts
+		j.DelayBound = 6 * sim.Hour            // unrealistic deadline
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(30 * sim.Day))
+	st := s.ProjectStats()
+	if st.ResultsTimedOut == 0 {
+		t.Error("unrealistically tight deadlines produced no timeouts")
+	}
+}
+
+func TestFeasibilityCheckAvoidsSlowHosts(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(4)
+	cfg := DefaultConfig("feas")
+	s, err := NewServer(eng, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fast, one very slow host.
+	s.AttachHost(&Host{ID: 0, Speed: 2.0, MemoryMB: 2048, Platform: lrm.WindowsX86,
+		MeanOn: 100 * sim.Hour, MeanOff: sim.Hour, BufferSeconds: 40 * 3600, ReportLatency: sim.Minute})
+	s.AttachHost(&Host{ID: 1, Speed: 0.05, MemoryMB: 2048, Platform: lrm.WindowsX86,
+		MeanOn: 100 * sim.Hour, MeanOff: sim.Hour, BufferSeconds: 40 * 3600, ReportLatency: sim.Minute})
+	for i := 0; i < 6; i++ {
+		j := wu(fmt.Sprintf("j%d", i), 8*3600)
+		j.DelayBound = 1 * sim.Day // slow host would need ~7 days
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(20 * sim.Day))
+	st := s.ProjectStats()
+	if st.InfeasibleSkips == 0 {
+		t.Error("feasibility check never skipped the slow host")
+	}
+	if st.ResultsTimedOut > 2 {
+		t.Errorf("%d timeouts despite feasibility checking", st.ResultsTimedOut)
+	}
+}
+
+func TestWorkRequestSizing(t *testing.T) {
+	// With accurate estimates, a host should fetch about its buffer's
+	// worth of work per RPC rather than one task at a time.
+	cfg := DefaultConfig("sizing")
+	eng, s := testProject(t, 1, cfg)
+	for i := 0; i < 32; i++ {
+		if err := s.Submit(wu(fmt.Sprintf("j%d", i), 1800)); err != nil { // 0.5 h each
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(12 * sim.Hour))
+	h := s.hosts[0]
+	// Buffer 8 h, tasks 0.5 h: the first fetch should have grabbed
+	// roughly 16 tasks.
+	if got := len(h.tasks); got < 10 {
+		t.Errorf("host queue holds %d tasks; estimate-driven fetch should batch ~16", got)
+	}
+}
+
+func TestCancelWorkunit(t *testing.T) {
+	eng, s := testProject(t, 2, DefaultConfig("cancel"))
+	j := wu("c", 36000)
+	completed := false
+	j.OnComplete = func(sim.Time) { completed = true }
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel("c") {
+		t.Fatal("cancel failed")
+	}
+	if s.Cancel("c") {
+		t.Error("double cancel returned true")
+	}
+	eng.RunUntil(sim.Time(5 * sim.Day))
+	if completed {
+		t.Error("cancelled workunit completed")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	if _, err := NewServer(eng, rng, Config{Name: ""}); err == nil {
+		t.Error("expected error for empty name")
+	}
+	cfg := DefaultConfig("x")
+	cfg.Quorum = 0
+	if _, err := NewServer(eng, rng, cfg); err == nil {
+		t.Error("expected error for zero quorum")
+	}
+	cfg = DefaultConfig("x")
+	cfg.MaxIssues = 0
+	if _, err := NewServer(eng, rng, cfg); err == nil {
+		t.Error("expected error for MaxIssues below quorum")
+	}
+	ok, err := NewServer(eng, rng, DefaultConfig("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpi := wu("m", 60)
+	mpi.NeedsMPI = true
+	if err := ok.Submit(mpi); err == nil {
+		t.Error("BOINC accepted an MPI job")
+	}
+}
+
+func TestGeneratedPopulation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	s, err := NewServer(eng, rng, DefaultConfig("pop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	GeneratePopulation(s, rng, DefaultPopulation(300))
+	if s.NumHosts() != 300 {
+		t.Fatalf("attached %d hosts", s.NumHosts())
+	}
+	plats := map[lrm.Platform]int{}
+	for _, h := range s.hosts {
+		if h.Speed <= 0 {
+			t.Fatal("non-positive host speed")
+		}
+		plats[h.Platform]++
+	}
+	if plats[lrm.WindowsX86] < 150 {
+		t.Errorf("windows hosts = %d of 300; should dominate", plats[lrm.WindowsX86])
+	}
+	if len(plats) < 3 {
+		t.Errorf("platform diversity missing: %v", plats)
+	}
+	// The population should actually process work.
+	done := 0
+	for i := 0; i < 50; i++ {
+		j := wu(fmt.Sprintf("j%d", i), 900)
+		j.MemoryMB = 512
+		j.OnComplete = func(sim.Time) { done++ }
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Time(20 * sim.Day))
+	if done < 48 {
+		t.Errorf("generated population completed only %d of 50", done)
+	}
+}
+
+func TestInfoAggregation(t *testing.T) {
+	eng, s := testProject(t, 25, DefaultConfig("info"))
+	eng.RunUntil(sim.Time(2 * sim.Day))
+	info := s.Info()
+	if info.Kind != "boinc" || info.Stable {
+		t.Errorf("info misdescribes BOINC: %+v", info)
+	}
+	// Capacity counts only hosts that are currently on; with ~91%
+	// duty cycle most of the 25 should be.
+	if info.TotalCPUs < 10 || info.TotalCPUs > 25 {
+		t.Errorf("TotalCPUs = %d, want most of the 25 attached hosts", info.TotalCPUs)
+	}
+	if s.NumHosts() != 25 {
+		t.Errorf("NumHosts = %d", s.NumHosts())
+	}
+}

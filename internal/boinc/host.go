@@ -1,0 +1,175 @@
+// Package boinc simulates a BOINC volunteer-computing project: a
+// server that manages workunits with deadlines, reissue and optional
+// redundancy, and a population of volunteer hosts that fetch work,
+// compute while their owners let them, checkpoint across availability
+// gaps, and sometimes disappear entirely. It is the desktop-grid half
+// of the paper's two-model system and the substrate for its
+// BOINC-specific scheduling experiments (deadline selection from
+// runtime estimates, work-request sizing, reissue behaviour).
+package boinc
+
+import (
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+// Host is one volunteer computer attached to the project.
+type Host struct {
+	ID int
+	// Speed relative to the reference computer while computing.
+	Speed float64
+	// MemoryMB bounds the workunits the host can accept.
+	MemoryMB int
+	Platform lrm.Platform
+	// MeanOn and MeanOff parameterize the exponential availability
+	// process: periods during which BOINC may compute vs periods the
+	// machine is off or the user has suspended computation.
+	MeanOn, MeanOff sim.Duration
+	// BufferSeconds is how much estimated work (in local execution
+	// seconds) the client tries to keep queued.
+	BufferSeconds float64
+	// ReportLatency is the extra delay between finishing a task and
+	// the next scheduler connection that reports it.
+	ReportLatency sim.Duration
+	// PDetach is the per-off-period probability that the volunteer
+	// leaves the project for good, taking queued work with them —
+	// the reason deadlines and reissue exist.
+	PDetach float64
+
+	srv      *Server
+	on       bool
+	detached bool
+	tasks    []*task // head is the running task
+	doneEv   sim.EventID
+	pollEv   sim.EventID
+	// resumeAt tracks when the running task last (re)started.
+	startedAt sim.Time
+}
+
+// task is one assigned result instance being computed.
+type task struct {
+	res           *result
+	remainingWork float64
+}
+
+// attach wires the host into the server's simulation.
+func (h *Host) attach(s *Server) {
+	h.srv = s
+	h.on = false
+	s.eng.Schedule(s.rng.ExpDuration(h.MeanOff), h.turnOn)
+}
+
+func (h *Host) turnOn() {
+	if h.detached {
+		return
+	}
+	h.on = true
+	h.srv.eng.Schedule(h.srv.rng.ExpDuration(h.MeanOn), h.turnOff)
+	h.maybeFetchWork()
+	h.resume()
+}
+
+func (h *Host) turnOff() {
+	if h.detached {
+		return
+	}
+	h.on = false
+	h.suspend()
+	if h.srv.rng.Bool(h.PDetach) {
+		// Volunteer leaves the project; queued tasks are lost and
+		// will time out on the server.
+		h.detached = true
+		h.srv.stats.Detached++
+		for _, t := range h.tasks {
+			t.res.lost = true
+		}
+		h.tasks = nil
+		return
+	}
+	h.srv.eng.Schedule(h.srv.rng.ExpDuration(h.MeanOff), h.turnOn)
+}
+
+// suspend checkpoints the running task (the paper's special GARLI
+// build adds exactly this: BOINC-visible checkpointing so work
+// survives client suspensions).
+func (h *Host) suspend() {
+	if h.doneEv != 0 {
+		h.srv.eng.Cancel(h.doneEv)
+		h.doneEv = 0
+		elapsed := h.srv.eng.Now().Sub(h.startedAt)
+		if len(h.tasks) > 0 {
+			h.tasks[0].remainingWork -= elapsed.Seconds() * h.Speed * lrm.ReferenceCellsPerSecond
+			if h.tasks[0].remainingWork < 0 {
+				h.tasks[0].remainingWork = 0
+			}
+		}
+	}
+	if h.pollEv != 0 {
+		h.srv.eng.Cancel(h.pollEv)
+		h.pollEv = 0
+	}
+}
+
+// resume continues the head task from its checkpoint. It is a no-op
+// when a task is already executing.
+func (h *Host) resume() {
+	if !h.on || h.detached || h.doneEv != 0 {
+		return
+	}
+	if len(h.tasks) == 0 {
+		// Nothing to do: poll the scheduler periodically while on.
+		if h.pollEv == 0 {
+			h.pollEv = h.srv.eng.Schedule(h.srv.cfg.IdlePollInterval, func() {
+				h.pollEv = 0
+				h.maybeFetchWork()
+				h.resume()
+			})
+		}
+		return
+	}
+	t := h.tasks[0]
+	h.startedAt = h.srv.eng.Now()
+	dur := sim.Duration(t.remainingWork / (h.Speed * lrm.ReferenceCellsPerSecond))
+	h.doneEv = h.srv.eng.Schedule(dur, func() {
+		h.doneEv = 0
+		h.tasks = h.tasks[1:]
+		h.srv.stats.HostCPUSeconds += t.res.wu.job.Work / lrm.ReferenceCellsPerSecond
+		// Report after the host's usual reporting latency.
+		res := t.res
+		h.srv.eng.Schedule(h.ReportLatency, func() {
+			h.srv.receiveResult(res)
+		})
+		h.maybeFetchWork()
+		h.resume()
+	})
+}
+
+// queuedSeconds estimates the local execution seconds of queued work,
+// using the server-provided estimates exactly as a BOINC client does.
+func (h *Host) queuedSeconds() float64 {
+	var s float64
+	for _, t := range h.tasks {
+		est := t.res.wu.job.EstimatedRefSeconds
+		if est <= 0 {
+			est = h.srv.cfg.FallbackEstimateSeconds
+		}
+		s += est / h.Speed
+	}
+	return s
+}
+
+// maybeFetchWork issues a scheduler RPC when the buffer drops below
+// its low-water mark (half the target), then requests enough to fill
+// back to the target — the BOINC client's min/max buffer hysteresis,
+// which keeps well-stocked clients from contacting the scheduler after
+// every result.
+func (h *Host) maybeFetchWork() {
+	if !h.on || h.detached {
+		return
+	}
+	queued := h.queuedSeconds()
+	if queued > 0.5*h.BufferSeconds {
+		return
+	}
+	h.srv.schedulerRPC(h, h.BufferSeconds-queued)
+}

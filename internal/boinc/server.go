@@ -1,0 +1,436 @@
+package boinc
+
+import (
+	"fmt"
+
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+// Config holds project-level policy.
+type Config struct {
+	Name string
+	// Quorum is the number of matching results required to validate a
+	// workunit (classic redundant computing). 1 disables redundancy —
+	// the paper's GARLI project relies on its validation mode and
+	// reissue instead of multi-result quorums for most batches.
+	Quorum int
+	// DefaultDelayBound is the workunit deadline applied when a job
+	// carries none. Before runtime estimates were integrated, the
+	// paper's operators "had to fill in this value manually for each
+	// batch of work".
+	DefaultDelayBound sim.Duration
+	// MaxIssues bounds how many instances of one workunit may be
+	// issued before the workunit is failed back to the grid.
+	MaxIssues int
+	// IdlePollInterval is how often an idle attached client asks for
+	// work.
+	IdlePollInterval sim.Duration
+	// FallbackEstimateSeconds is used to size work requests for jobs
+	// without runtime estimates (the pre-estimate era's guess).
+	FallbackEstimateSeconds float64
+	// FeasibilityCheck makes the scheduler skip sending a result to a
+	// host that probably cannot meet its deadline (BOINC's deadline
+	// check). Requires estimates to work meaningfully.
+	FeasibilityCheck bool
+	// MaxTasksPerRPC bounds how many results one work request may
+	// receive (BOINC's max_wus_to_send), preventing a single fast
+	// client from hoarding the queue.
+	MaxTasksPerRPC int
+}
+
+// DefaultConfig mirrors a typical small BOINC project.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:                    name,
+		Quorum:                  1,
+		DefaultDelayBound:       sim.Week,
+		MaxIssues:               8,
+		IdlePollInterval:        4 * sim.Hour,
+		FallbackEstimateSeconds: 4 * 3600,
+		FeasibilityCheck:        true,
+		MaxTasksPerRPC:          64,
+	}
+}
+
+// Stats aggregates project behaviour for the experiments.
+type Stats struct {
+	WorkunitsCreated int
+	WorkunitsDone    int
+	WorkunitsFailed  int
+	ResultsIssued    int
+	ResultsReturned  int
+	ResultsLate      int // returned after the workunit completed
+	ResultsTimedOut  int // deadline passed, reissued
+	SchedulerRPCs    int
+	EmptyRPCs        int // RPCs that got no work
+	Detached         int
+	HostCPUSeconds   float64 // reference CPU-seconds computed by hosts
+	WastedCPUSeconds float64 // computed but not needed (late/redundant)
+	InfeasibleSkips  int
+}
+
+// workunit tracks one grid job inside the project.
+type workunit struct {
+	job      *lrm.Job
+	delay    sim.Duration
+	issues   int
+	returned int
+	done     bool
+	failed   bool
+	pending  []*result // issued, not yet returned
+}
+
+// result is one issued instance of a workunit.
+type result struct {
+	wu       *workunit
+	host     *Host
+	issuedAt sim.Time
+	deadline sim.Time
+	timedOut bool
+	lost     bool // host detached; will never return
+}
+
+// Server is the BOINC project server. It implements lrm.LRM so the
+// grid's scheduler adapter can treat the volunteer pool as one large
+// (unstable) resource.
+type Server struct {
+	eng   *sim.Engine
+	rng   *sim.RNG
+	cfg   Config
+	hosts []*Host
+	// unsent holds workunits with capacity for further issues, FIFO.
+	unsent []*workunit
+	byJob  map[string]*workunit
+	stats  Stats
+}
+
+// NewServer creates a project with no hosts attached.
+func NewServer(eng *sim.Engine, rng *sim.RNG, cfg Config) (*Server, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("boinc: project has no name")
+	}
+	if cfg.Quorum < 1 {
+		return nil, fmt.Errorf("boinc: quorum must be >= 1, got %d", cfg.Quorum)
+	}
+	if cfg.MaxIssues < cfg.Quorum {
+		return nil, fmt.Errorf("boinc: MaxIssues %d below quorum %d", cfg.MaxIssues, cfg.Quorum)
+	}
+	if cfg.DefaultDelayBound <= 0 {
+		return nil, fmt.Errorf("boinc: DefaultDelayBound must be positive")
+	}
+	return &Server{eng: eng, rng: rng, cfg: cfg, byJob: make(map[string]*workunit)}, nil
+}
+
+// AttachHost adds a volunteer host to the project and starts its
+// availability process.
+func (s *Server) AttachHost(h *Host) {
+	s.hosts = append(s.hosts, h)
+	h.attach(s)
+}
+
+// NumHosts returns the number of hosts ever attached.
+func (s *Server) NumHosts() int { return len(s.hosts) }
+
+// ActiveHosts returns the number of hosts that have not detached.
+func (s *Server) ActiveHosts() int {
+	n := 0
+	for _, h := range s.hosts {
+		if !h.detached {
+			n++
+		}
+	}
+	return n
+}
+
+// Name implements lrm.LRM.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Submit implements lrm.LRM: the job becomes a workunit.
+func (s *Server) Submit(j *lrm.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.NeedsMPI {
+		return fmt.Errorf("boinc: volunteer hosts cannot run MPI jobs")
+	}
+	delay := j.DelayBound
+	if delay <= 0 {
+		delay = s.cfg.DefaultDelayBound
+	}
+	wu := &workunit{job: j, delay: delay}
+	s.byJob[j.ID] = wu
+	s.unsent = append(s.unsent, wu)
+	s.stats.WorkunitsCreated++
+	return nil
+}
+
+// Cancel implements lrm.LRM.
+func (s *Server) Cancel(jobID string) bool {
+	wu, ok := s.byJob[jobID]
+	if !ok || wu.done || wu.failed {
+		return false
+	}
+	wu.failed = true // no further issues; in-flight results discarded
+	delete(s.byJob, jobID)
+	s.removeUnsent(wu)
+	return true
+}
+
+func (s *Server) removeUnsent(wu *workunit) {
+	for i, u := range s.unsent {
+		if u == wu {
+			s.unsent = append(s.unsent[:i], s.unsent[i+1:]...)
+			return
+		}
+	}
+}
+
+// schedulerRPC serves a work request of wantSeconds local execution
+// seconds from host h.
+func (s *Server) schedulerRPC(h *Host, wantSeconds float64) {
+	s.stats.SchedulerRPCs++
+	granted := 0.0
+	issued := 0
+	maxTasks := s.cfg.MaxTasksPerRPC
+	if maxTasks <= 0 {
+		maxTasks = 1 << 30
+	}
+	for i := 0; i < len(s.unsent) && granted < wantSeconds && issued < maxTasks; {
+		wu := s.unsent[i]
+		if wu.done || wu.failed {
+			s.unsent = append(s.unsent[:i], s.unsent[i+1:]...)
+			continue
+		}
+		if !s.eligible(h, wu) {
+			i++
+			continue
+		}
+		est := wu.job.EstimatedRefSeconds
+		if est <= 0 {
+			est = s.cfg.FallbackEstimateSeconds
+		}
+		localEst := est / h.Speed
+		if s.cfg.FeasibilityCheck {
+			// Effective progress rate is diluted by the host's duty
+			// cycle; skip hosts that would blow the deadline.
+			duty := float64(h.MeanOn) / float64(h.MeanOn+h.MeanOff)
+			if sim.Duration(localEst/duty) > wu.delay {
+				s.stats.InfeasibleSkips++
+				i++
+				continue
+			}
+		}
+		s.issue(wu, h)
+		granted += localEst
+		issued++
+		if len(wu.pending) >= s.cfg.Quorum {
+			// Enough live instances in flight; stop offering this
+			// workunit until a deadline miss frees it up.
+			s.unsent = append(s.unsent[:i], s.unsent[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	if issued == 0 {
+		s.stats.EmptyRPCs++
+	}
+}
+
+// eligible checks platform/memory compatibility and that the host does
+// not already hold an instance of this workunit.
+func (s *Server) eligible(h *Host, wu *workunit) bool {
+	j := wu.job
+	if j.MemoryMB > h.MemoryMB {
+		return false
+	}
+	if len(j.Platforms) > 0 {
+		ok := false
+		for _, p := range j.Platforms {
+			if p == h.Platform {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, r := range wu.pending {
+		if r.host == h {
+			return false
+		}
+	}
+	return true
+}
+
+// issue sends one result instance of wu to host h and arms the
+// deadline timer.
+func (s *Server) issue(wu *workunit, h *Host) {
+	r := &result{
+		wu:       wu,
+		host:     h,
+		issuedAt: s.eng.Now(),
+		deadline: s.eng.Now().Add(wu.delay),
+	}
+	wu.issues++
+	wu.pending = append(wu.pending, r)
+	s.stats.ResultsIssued++
+	h.tasks = append(h.tasks, &task{res: r, remainingWork: wu.job.Work})
+	if len(h.tasks) == 1 {
+		h.resume()
+	}
+	s.eng.ScheduleAt(r.deadline, func() { s.deadlinePassed(r) })
+}
+
+// deadlinePassed reissues a workunit whose result never came back.
+func (s *Server) deadlinePassed(r *result) {
+	if r.timedOut {
+		return
+	}
+	wu := r.wu
+	if wu.done || wu.failed {
+		return
+	}
+	// Still pending?
+	stillPending := false
+	for _, p := range wu.pending {
+		if p == r {
+			stillPending = true
+			break
+		}
+	}
+	if !stillPending {
+		return
+	}
+	r.timedOut = true
+	s.stats.ResultsTimedOut++
+	wu.removePending(r)
+	// Drop the task from the host queue if the host still holds it.
+	if !r.lost {
+		r.host.dropTask(r)
+	}
+	if wu.issues >= s.cfg.MaxIssues {
+		wu.failed = true
+		s.stats.WorkunitsFailed++
+		s.removeUnsent(wu)
+		if wu.job.OnFail != nil {
+			wu.job.OnFail(s.eng.Now(), "boinc: too many errors (may have bug)")
+		}
+		return
+	}
+	// Back to the unsent queue for reissue.
+	s.requeue(wu)
+}
+
+func (s *Server) requeue(wu *workunit) {
+	for _, u := range s.unsent {
+		if u == wu {
+			return
+		}
+	}
+	s.unsent = append(s.unsent, wu)
+}
+
+func (wu *workunit) removePending(r *result) {
+	for i, p := range wu.pending {
+		if p == r {
+			wu.pending = append(wu.pending[:i], wu.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropTask removes a timed-out task from the host's queue (the client
+// would abort it at its next scheduler contact).
+func (h *Host) dropTask(r *result) {
+	for i, t := range h.tasks {
+		if t.res == r {
+			if i == 0 && h.doneEv != 0 {
+				h.suspend()
+				h.tasks = h.tasks[1:]
+				h.resume()
+			} else {
+				h.tasks = append(h.tasks[:i], h.tasks[i+1:]...)
+			}
+			return
+		}
+	}
+}
+
+// receiveResult handles a returned result.
+func (s *Server) receiveResult(r *result) {
+	s.stats.ResultsReturned++
+	wu := r.wu
+	if r.timedOut || wu.done || wu.failed {
+		// Arrived after reissue or completion: wasted computation.
+		s.stats.ResultsLate++
+		s.stats.WastedCPUSeconds += wu.job.Work / lrm.ReferenceCellsPerSecond
+		return
+	}
+	wu.removePending(r)
+	wu.returned++
+	if wu.returned < s.cfg.Quorum {
+		return
+	}
+	wu.done = true
+	s.stats.WorkunitsDone++
+	// Redundant copies beyond the first are overhead by design.
+	if s.cfg.Quorum > 1 {
+		s.stats.WastedCPUSeconds += float64(s.cfg.Quorum-1) * wu.job.Work / lrm.ReferenceCellsPerSecond
+	}
+	s.removeUnsent(wu)
+	if wu.job.OnComplete != nil {
+		wu.job.OnComplete(s.eng.Now())
+	}
+}
+
+// Info implements lrm.LRM: the volunteer pool summarized as one
+// resource for MDS.
+func (s *Server) Info() lrm.Info {
+	info := lrm.Info{
+		Name:   s.cfg.Name,
+		Kind:   "boinc",
+		Stable: false,
+	}
+	seen := map[lrm.Platform]bool{}
+	for _, h := range s.hosts {
+		if h.detached {
+			continue
+		}
+		// The pool's deliverable parallelism is the hosts currently
+		// on; attached-but-off machines are not capacity right now.
+		if h.on {
+			info.TotalCPUs++
+			if len(h.tasks) == 0 {
+				info.FreeCPUs++
+			}
+		}
+		if len(h.tasks) > 0 {
+			info.RunningJobs++
+		}
+		if h.MemoryMB > info.NodeMemoryMB {
+			info.NodeMemoryMB = h.MemoryMB
+		}
+		if !seen[h.Platform] {
+			seen[h.Platform] = true
+			info.Platforms = append(info.Platforms, h.Platform)
+		}
+	}
+	info.QueuedJobs = len(s.unsent)
+	return info
+}
+
+// Stats implements lrm.LRM (extended BOINC statistics are available
+// via ProjectStats).
+func (s *Server) Stats() lrm.Stats {
+	return lrm.Stats{
+		Completed:  s.stats.WorkunitsDone,
+		Failed:     s.stats.WorkunitsFailed,
+		CPUSeconds: s.stats.HostCPUSeconds - s.stats.WastedCPUSeconds,
+		WastedCPU:  s.stats.WastedCPUSeconds,
+	}
+}
+
+// ProjectStats returns the full BOINC accounting.
+func (s *Server) ProjectStats() Stats { return s.stats }

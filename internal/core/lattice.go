@@ -1,0 +1,326 @@
+// Package core assembles The Lattice Project: the discrete-event
+// engine, the resource federation (Condor pools, PBS/SGE clusters, the
+// BOINC volunteer pool, and the homogeneous reference cluster), MDS
+// monitoring, the grid-level scheduler with its random-forest runtime
+// estimator, the GSBL service layer and the science portal — wired the
+// way Sections II-VI describe.
+package core
+
+import (
+	"fmt"
+
+	"lattice/internal/boinc"
+	"lattice/internal/estimate"
+	"lattice/internal/grid/mds"
+	"lattice/internal/gsbl"
+	"lattice/internal/lrm"
+	"lattice/internal/lrm/condor"
+	"lattice/internal/lrm/pbs"
+	"lattice/internal/lrm/sge"
+	"lattice/internal/metasched"
+	"lattice/internal/portal"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// ResourceSpec declares one resource of the federation.
+type ResourceSpec struct {
+	Kind  string // "condor", "pbs", "sge", "boinc"
+	Name  string
+	Nodes int
+	Cores int     // per node (sge)
+	Speed float64 // node speed vs reference
+	MemMB int
+	// Condor-only: owner activity.
+	MeanOwnerAway sim.Duration
+	MeanOwnerBusy sim.Duration
+	// BOINC-only population.
+	Population *boinc.PopulationConfig
+	MPI        bool
+	Platform   lrm.Platform
+}
+
+// Config describes a whole Lattice deployment.
+type Config struct {
+	Seed           int64
+	MDSTTL         sim.Duration
+	ProviderPeriod sim.Duration
+	Scheduler      metasched.Config
+	Estimator      estimate.Config
+	// TrainingJobs bootstraps the runtime model with this many
+	// generated jobs (the paper's ~150-job matrix). 0 disables the
+	// estimator entirely.
+	TrainingJobs int
+	Resources    []ResourceSpec
+	// ReferenceCluster names the homogeneous speed-1.0 cluster used
+	// for continuous retraining forks; empty disables retraining.
+	ReferenceCluster string
+}
+
+// DefaultConfig builds the paper's federation: four Condor pools, four
+// clusters (two PBS, one SGE, one reference PBS), and a BOINC
+// volunteer pool, at laptop-friendly scale.
+func DefaultConfig(seed int64) Config {
+	pop := boinc.DefaultPopulation(400)
+	return Config{
+		Seed:           seed,
+		MDSTTL:         5 * sim.Minute,
+		ProviderPeriod: sim.Minute,
+		Scheduler:      metasched.DefaultConfig(),
+		Estimator:      estimate.DefaultConfig(),
+		TrainingJobs:   150,
+		Resources: []ResourceSpec{
+			{Kind: "condor", Name: "umd-condor", Nodes: 64, Speed: 1.1, MemMB: 2048,
+				MeanOwnerAway: 6 * sim.Hour, MeanOwnerBusy: 3 * sim.Hour, Platform: lrm.LinuxX86},
+			{Kind: "condor", Name: "bowie-condor", Nodes: 32, Speed: 0.8, MemMB: 1024,
+				MeanOwnerAway: 8 * sim.Hour, MeanOwnerBusy: 4 * sim.Hour, Platform: lrm.WindowsX86},
+			{Kind: "condor", Name: "coppin-condor", Nodes: 24, Speed: 0.7, MemMB: 1024,
+				MeanOwnerAway: 5 * sim.Hour, MeanOwnerBusy: 5 * sim.Hour, Platform: lrm.WindowsX86},
+			{Kind: "condor", Name: "si-condor", Nodes: 40, Speed: 1.0, MemMB: 2048,
+				MeanOwnerAway: 10 * sim.Hour, MeanOwnerBusy: 6 * sim.Hour, Platform: lrm.DarwinX86},
+			{Kind: "pbs", Name: "umd-hpc", Nodes: 64, Speed: 2.0, MemMB: 8192, MPI: true, Platform: lrm.LinuxX86},
+			{Kind: "pbs", Name: "bigmem-cluster", Nodes: 8, Speed: 1.6, MemMB: 65536, Platform: lrm.LinuxX86},
+			{Kind: "sge", Name: "bio-sge", Nodes: 16, Cores: 4, Speed: 1.4, MemMB: 16384, Platform: lrm.LinuxX86},
+			{Kind: "pbs", Name: "reference-cluster", Nodes: 8, Speed: 1.0, MemMB: 4096, Platform: lrm.LinuxX86},
+			// The volunteer pool's scheduling speed is its measured
+			// *turnaround* speed: median host speed (~0.8×) diluted
+			// by the typical duty cycle (~42%) — exactly what the
+			// paper's benchmark-job procedure observes on BOINC.
+			{Kind: "boinc", Name: "lattice-boinc", Population: &pop, Speed: 0.35},
+		},
+		ReferenceCluster: "reference-cluster",
+	}
+}
+
+// Lattice is a running grid system.
+type Lattice struct {
+	Engine    *sim.Engine
+	Index     *mds.Index
+	Scheduler *metasched.Scheduler
+	Service   *gsbl.Service
+	Mailer    *gsbl.Mailer
+	Estimator *estimate.Estimator
+	Portal    *portal.Portal
+	Boinc     *boinc.Server // nil if no BOINC resource configured
+
+	rng       *sim.RNG
+	resources map[string]lrm.LRM
+	refName   string
+	retrains  int
+}
+
+// New assembles and starts a Lattice deployment.
+func New(cfg Config) (*Lattice, error) {
+	if cfg.MDSTTL <= 0 {
+		cfg.MDSTTL = 5 * sim.Minute
+	}
+	if cfg.ProviderPeriod <= 0 {
+		cfg.ProviderPeriod = sim.Minute
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	idx, err := mds.NewIndex(eng, cfg.MDSTTL)
+	if err != nil {
+		return nil, err
+	}
+	l := &Lattice{
+		Engine:    eng,
+		Index:     idx,
+		rng:       rng,
+		resources: make(map[string]lrm.LRM),
+		refName:   cfg.ReferenceCluster,
+	}
+	l.Scheduler = metasched.New(eng, idx, cfg.Scheduler)
+	for _, rs := range cfg.Resources {
+		target, err := l.buildResource(rs)
+		if err != nil {
+			return nil, err
+		}
+		l.resources[rs.Name] = target
+		if _, err := mds.StartProvider(eng, idx, target, cfg.ProviderPeriod); err != nil {
+			return nil, err
+		}
+		speed := rs.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		if err := l.Scheduler.Register(target, speed); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TrainingJobs > 0 {
+		est, err := estimate.Bootstrap(cfg.Estimator, workload.NewGenerator(cfg.Seed+1), cfg.TrainingJobs)
+		if err != nil {
+			return nil, err
+		}
+		l.Estimator = est
+		l.Scheduler.SetPredictor(est)
+	}
+	l.Mailer = &gsbl.Mailer{}
+	l.Service = gsbl.NewService(eng, l.Scheduler, l.Mailer, rng.Stream("gsbl"))
+	l.Portal = portal.New(eng, l.Service)
+	l.Portal.SetStatusSource(func() any {
+		type row struct {
+			Name    string `json:"name"`
+			Kind    string `json:"kind"`
+			Total   int    `json:"totalCPUs"`
+			Free    int    `json:"freeCPUs"`
+			Queued  int    `json:"queued"`
+			Running int    `json:"running"`
+			Stable  bool   `json:"stable"`
+		}
+		var rows []row
+		for _, e := range l.Index.Snapshot() {
+			rows = append(rows, row{
+				Name: e.Info.Name, Kind: e.Info.Kind,
+				Total: e.Info.TotalCPUs, Free: e.Info.FreeCPUs,
+				Queued: e.Info.QueuedJobs, Running: e.Info.RunningJobs,
+				Stable: e.Info.Stable,
+			})
+		}
+		return map[string]any{
+			"resources": rows,
+			"scheduler": l.Scheduler.Stats(),
+			"time":      float64(l.Engine.Now()),
+		}
+	})
+	return l, nil
+}
+
+// buildResource constructs one LRM from its spec.
+func (l *Lattice) buildResource(rs ResourceSpec) (lrm.LRM, error) {
+	plat := rs.Platform
+	if plat == "" {
+		plat = lrm.LinuxX86
+	}
+	switch rs.Kind {
+	case "condor":
+		machines := make([]condor.Machine, rs.Nodes)
+		for i := range machines {
+			machines[i] = condor.Machine{
+				Speed:         jitter(l.rng, rs.Speed, 0.2),
+				MemoryMB:      rs.MemMB,
+				Platform:      plat,
+				MeanOwnerAway: rs.MeanOwnerAway,
+				MeanOwnerBusy: rs.MeanOwnerBusy,
+			}
+		}
+		return condor.New(l.Engine, l.rng.Stream("condor-"+rs.Name), condor.Config{
+			Name: rs.Name, Machines: machines, MaxRequeues: 50,
+		})
+	case "pbs":
+		return pbs.New(l.Engine, pbs.Config{
+			Name: rs.Name, Platform: plat, MPI: rs.MPI,
+			Nodes: []pbs.NodeClass{{Count: rs.Nodes, Speed: rs.Speed, MemoryMB: rs.MemMB}},
+		})
+	case "sge":
+		cores := rs.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		return sge.New(l.Engine, sge.Config{
+			Name: rs.Name, Platform: plat, MPI: rs.MPI,
+			Nodes: []sge.NodeClass{{Count: rs.Nodes, Cores: cores, Speed: rs.Speed, MemoryMB: rs.MemMB}},
+		})
+	case "boinc":
+		srv, err := boinc.NewServer(l.Engine, l.rng.Stream("boinc-"+rs.Name), boinc.DefaultConfig(rs.Name))
+		if err != nil {
+			return nil, err
+		}
+		pop := rs.Population
+		if pop == nil {
+			p := boinc.DefaultPopulation(200)
+			pop = &p
+		}
+		boinc.GeneratePopulation(srv, l.rng.Stream("boincpop-"+rs.Name), *pop)
+		l.Boinc = srv
+		return srv, nil
+	default:
+		return nil, fmt.Errorf("core: unknown resource kind %q", rs.Kind)
+	}
+}
+
+func jitter(rng *sim.RNG, v, frac float64) float64 {
+	return v * rng.Uniform(1-frac, 1+frac)
+}
+
+// Resource returns a federation member by name.
+func (l *Lattice) Resource(name string) (lrm.LRM, bool) {
+	r, ok := l.resources[name]
+	return r, ok
+}
+
+// ResourceNames lists the federation members.
+func (l *Lattice) ResourceNames() []string {
+	names := make([]string, 0, len(l.resources))
+	for n := range l.resources {
+		names = append(names, n)
+	}
+	return names
+}
+
+// TotalCores sums the federation's CPU cores as MDS currently sees it.
+func (l *Lattice) TotalCores() int {
+	total := 0
+	for _, e := range l.Index.Snapshot() {
+		total += e.Info.TotalCPUs
+	}
+	return total
+}
+
+// SubmitSubmission validates and schedules a portal-style submission,
+// forking one extra replicate to the reference cluster for continuous
+// model retraining when configured (Section VI-E: "we simply fork off
+// a single job replicate on our reference computer … and add the
+// observed runtime and values of the predictor variables to the
+// matrix").
+func (l *Lattice) SubmitSubmission(sub workload.Submission) (*gsbl.Batch, error) {
+	b, err := l.Service.SubmitBatch(sub)
+	if err != nil {
+		return nil, err
+	}
+	if l.refName != "" && l.Estimator != nil {
+		l.forkReferenceReplicate(sub)
+	}
+	return b, nil
+}
+
+// forkReferenceReplicate runs one replicate on the homogeneous
+// reference cluster and feeds the observation back into the model.
+func (l *Lattice) forkReferenceReplicate(sub workload.Submission) {
+	ref, ok := l.resources[l.refName]
+	if !ok {
+		return
+	}
+	spec := sub.Spec
+	spec.Seed = sub.Spec.Seed ^ 0x7ef
+	work := spec.SampleWork(l.rng.Stream("reffork"))
+	start := l.Engine.Now()
+	l.retrains++
+	j := &lrm.Job{
+		ID:       fmt.Sprintf("ref-fork-%d", l.retrains),
+		Work:     work,
+		MemoryMB: spec.MemoryMB(),
+	}
+	j.OnComplete = func(at sim.Time) {
+		// The reference cluster runs at speed 1.0, so wall time is
+		// reference time (minus queueing, which the paper's operators
+		// also absorbed).
+		obs := float64(at.Sub(start))
+		if err := l.Estimator.AddObservation(&spec, obs); err != nil {
+			return
+		}
+		// Rebuilding "takes very little time to compute" and the new
+		// model "is immediately available for use with incoming jobs".
+		_ = l.Estimator.Retrain()
+	}
+	_ = ref.Submit(j)
+}
+
+// Retrains reports how many reference forks have been issued.
+func (l *Lattice) Retrains() int { return l.retrains }
+
+// Run advances the grid by d.
+func (l *Lattice) Run(d sim.Duration) {
+	l.Engine.RunUntil(l.Engine.Now().Add(d))
+}

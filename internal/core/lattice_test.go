@@ -1,0 +1,201 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lattice/internal/metasched"
+	"lattice/internal/phylo"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	// Shrink for unit-test speed: fewer volunteers.
+	for i := range cfg.Resources {
+		if cfg.Resources[i].Kind == "boinc" {
+			pop := *cfg.Resources[i].Population
+			pop.Hosts = 50
+			cfg.Resources[i].Population = &pop
+		}
+	}
+	cfg.TrainingJobs = 60
+	return cfg
+}
+
+func TestNewDefaultFederation(t *testing.T) {
+	l, err := New(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.ResourceNames()) != 9 {
+		t.Errorf("federation has %d resources, want 9", len(l.ResourceNames()))
+	}
+	if l.Boinc == nil {
+		t.Error("BOINC server not wired")
+	}
+	if l.Estimator == nil || !l.Estimator.Ready() {
+		t.Error("estimator not bootstrapped")
+	}
+	// MDS should see every resource immediately (providers publish on
+	// start).
+	if got := len(l.Index.Snapshot()); got != 9 {
+		t.Errorf("MDS sees %d resources, want 9", got)
+	}
+	if l.TotalCores() < 200 {
+		t.Errorf("federation has only %d cores", l.TotalCores())
+	}
+}
+
+func TestSubmissionFlowsThroughTheGrid(t *testing.T) {
+	l, err := New(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := workload.Submission{
+		Spec: workload.JobSpec{
+			DataType: phylo.Nucleotide, SubstModel: "HKY85",
+			RateHet: phylo.RateGamma, NumRateCats: 4, GammaShape: 0.6,
+			NumTaxa: 15, SeqLength: 600, SearchReps: 1,
+			StartingTree: phylo.StartStepwise, AttachmentsPerTaxon: 10, Seed: 3,
+		},
+		Replicates: 25,
+		UserEmail:  "u@lab.edu",
+	}
+	b, err := l.SubmitSubmission(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Run(60 * sim.Day)
+	st, err := l.Service.Status(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatalf("batch not done after 60 simulated days: %+v", st)
+	}
+	if st.Completed == 0 {
+		t.Error("nothing completed")
+	}
+	if len(l.Mailer.SentTo("u@lab.edu")) < 2 {
+		t.Error("user not notified")
+	}
+}
+
+func TestContinuousRetrainingFork(t *testing.T) {
+	l, err := New(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Estimator.NumObservations()
+	sub := workload.Submission{
+		Spec: workload.JobSpec{
+			DataType: phylo.Nucleotide, SubstModel: "JC69",
+			NumTaxa: 10, SeqLength: 300, SearchReps: 1,
+			StartingTree: phylo.StartRandom, Seed: 4,
+		},
+		Replicates: 5,
+		UserEmail:  "u@lab.edu",
+	}
+	if _, err := l.SubmitSubmission(sub); err != nil {
+		t.Fatal(err)
+	}
+	if l.Retrains() != 1 {
+		t.Fatalf("reference forks = %d, want 1", l.Retrains())
+	}
+	l.Run(30 * sim.Day)
+	if got := l.Estimator.NumObservations(); got != before+1 {
+		t.Errorf("training matrix grew %d → %d; want +1", before, got)
+	}
+}
+
+func TestEstimatorDisabledWithoutTraining(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.TrainingJobs = 0
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Estimator != nil {
+		t.Error("estimator present despite TrainingJobs = 0")
+	}
+}
+
+func TestBadResourceKind(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Resources = append(cfg.Resources, ResourceSpec{Kind: "slurm", Name: "nope", Nodes: 1, Speed: 1})
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown resource kind accepted")
+	}
+}
+
+func TestSchedulerPolicyPlumbing(t *testing.T) {
+	cfg := smallConfig(6)
+	cfg.Scheduler.Policy = metasched.PolicyNaive
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Scheduler == nil {
+		t.Fatal("no scheduler")
+	}
+}
+
+func TestSGEAndDefaultBoincPopulation(t *testing.T) {
+	cfg := Config{
+		Seed: 9,
+		Resources: []ResourceSpec{
+			{Kind: "sge", Name: "slots", Nodes: 2, Cores: 4, Speed: 1.2, MemMB: 8192},
+			{Kind: "boinc", Name: "volunteers"}, // default population
+		},
+	}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sge, ok := l.Resource("slots")
+	if !ok || sge.Info().TotalCPUs != 8 {
+		t.Errorf("sge slots = %+v", sge.Info())
+	}
+	if l.Boinc == nil || l.Boinc.NumHosts() != 200 {
+		t.Errorf("default BOINC population missing: %v", l.Boinc)
+	}
+}
+
+func TestGridStatusThroughCore(t *testing.T) {
+	l, err := New(smallConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(l.Portal.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/grid/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Resources []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"resources"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Resources) != 9 {
+		t.Errorf("status lists %d resources, want 9", len(st.Resources))
+	}
+	kinds := map[string]bool{}
+	for _, r := range st.Resources {
+		kinds[r.Kind] = true
+	}
+	for _, want := range []string{"condor", "pbs", "sge", "boinc"} {
+		if !kinds[want] {
+			t.Errorf("status missing kind %q", want)
+		}
+	}
+}

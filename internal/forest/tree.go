@@ -1,0 +1,267 @@
+package forest
+
+import (
+	"math"
+	"sort"
+
+	"lattice/internal/sim"
+)
+
+// treeNode is one node of a CART regression tree, stored in a flat
+// slice for cache-friendly prediction.
+type treeNode struct {
+	feature   int     // -1 for leaves
+	threshold float64 // numeric split: x <= threshold goes left
+	catLeft   uint64  // categorical split: bit c set = category c goes left
+	value     float64 // leaf prediction (mean response)
+	left      int     // index of left child
+	right     int     // index of right child
+}
+
+// regTree is a single regression tree grown on a bootstrap sample.
+type regTree struct {
+	nodes []treeNode
+	oob   []int // row indices not drawn into the bootstrap sample
+	// gain[f] accumulates the SSE reduction contributed by splits on
+	// feature f (split-gain importance).
+	gain []float64
+}
+
+// predict returns the tree's response for row x.
+func (t *regTree) predict(x []float64, kinds []FeatureKind) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		v := x[n.feature]
+		var goLeft bool
+		if kinds[n.feature] == Categorical {
+			goLeft = n.catLeft&(1<<uint(int(v))) != 0
+		} else {
+			goLeft = v <= n.threshold
+		}
+		if goLeft {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// treeBuilder grows one tree; it owns scratch buffers so concurrent
+// builders never share state.
+type treeBuilder struct {
+	ds    *Dataset
+	cfg   Config
+	rng   *sim.RNG
+	nodes []treeNode
+	gain  []float64 // per-feature SSE reduction of the growing tree
+}
+
+// grow builds a tree from the given bootstrap sample rows.
+func (b *treeBuilder) grow(rows []int) *regTree {
+	b.nodes = b.nodes[:0]
+	b.gain = make([]float64, b.ds.Schema.NumFeatures())
+	b.buildNode(rows, 0)
+	tr := &regTree{nodes: append([]treeNode(nil), b.nodes...), gain: b.gain}
+	return tr
+}
+
+// buildNode recursively grows the subtree for rows; returns its index.
+func (b *treeBuilder) buildNode(rows []int, depth int) int {
+	idx := len(b.nodes)
+	b.nodes = append(b.nodes, treeNode{feature: -1})
+	mean := b.meanY(rows)
+	b.nodes[idx].value = mean
+	if len(rows) < 2*b.cfg.MinLeafSize || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) || b.pure(rows) {
+		return idx
+	}
+	feat, thr, mask, splitSSE, ok := b.bestSplit(rows)
+	if !ok {
+		return idx
+	}
+	var left, right []int
+	kinds := b.ds.Schema.Kinds
+	for _, r := range rows {
+		v := b.ds.X[r][feat]
+		var goLeft bool
+		if kinds[feat] == Categorical {
+			goLeft = mask&(1<<uint(int(v))) != 0
+		} else {
+			goLeft = v <= thr
+		}
+		if goLeft {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < b.cfg.MinLeafSize || len(right) < b.cfg.MinLeafSize {
+		return idx
+	}
+	b.nodes[idx].feature = feat
+	b.nodes[idx].threshold = thr
+	b.nodes[idx].catLeft = mask
+	if g := b.sse(rows) - splitSSE; g > 0 {
+		b.gain[feat] += g
+	}
+	l := b.buildNode(left, depth+1)
+	r := b.buildNode(right, depth+1)
+	b.nodes[idx].left = l
+	b.nodes[idx].right = r
+	return idx
+}
+
+func (b *treeBuilder) meanY(rows []int) float64 {
+	var s float64
+	for _, r := range rows {
+		s += b.ds.Y[r]
+	}
+	return s / float64(len(rows))
+}
+
+// sse returns the sum of squared deviations of rows' responses.
+func (b *treeBuilder) sse(rows []int) float64 {
+	var sum, sq float64
+	for _, r := range rows {
+		y := b.ds.Y[r]
+		sum += y
+		sq += y * y
+	}
+	n := float64(len(rows))
+	return sq - sum*sum/n
+}
+
+func (b *treeBuilder) pure(rows []int) bool {
+	first := b.ds.Y[rows[0]]
+	for _, r := range rows[1:] {
+		if b.ds.Y[r] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit evaluates MTry randomly chosen covariates and returns the
+// split minimizing the children's summed squared error, along with
+// that SSE.
+func (b *treeBuilder) bestSplit(rows []int) (feat int, thr float64, mask uint64, sse float64, ok bool) {
+	p := b.ds.Schema.NumFeatures()
+	mtry := b.cfg.MTry
+	if mtry > p {
+		mtry = p
+	}
+	perm := b.rng.Perm(p)
+	bestSSE := math.Inf(1)
+	for _, f := range perm[:mtry] {
+		if b.ds.Schema.Kinds[f] == Categorical {
+			if m, s2, valid := b.bestCategoricalSplit(rows, f); valid && s2 < bestSSE {
+				bestSSE, feat, mask, thr, ok = s2, f, m, 0, true
+			}
+		} else {
+			if t, s2, valid := b.bestNumericSplit(rows, f); valid && s2 < bestSSE {
+				bestSSE, feat, thr, mask, ok = s2, f, t, 0, true
+			}
+		}
+	}
+	return feat, thr, mask, bestSSE, ok
+}
+
+// bestNumericSplit scans sorted unique values of feature f.
+func (b *treeBuilder) bestNumericSplit(rows []int, f int) (thr, sse float64, ok bool) {
+	type pair struct{ x, y float64 }
+	ps := make([]pair, len(rows))
+	for i, r := range rows {
+		ps[i] = pair{b.ds.X[r][f], b.ds.Y[r]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	// Prefix sums for O(1) SSE of each split.
+	n := len(ps)
+	var sumL, sqL float64
+	var sumR, sqR float64
+	for _, p := range ps {
+		sumR += p.y
+		sqR += p.y * p.y
+	}
+	best := math.Inf(1)
+	for i := 0; i < n-1; i++ {
+		y := ps[i].y
+		sumL += y
+		sqL += y * y
+		sumR -= y
+		sqR -= y * y
+		if ps[i+1].x == ps[i].x {
+			continue // can't split between equal values
+		}
+		nl, nr := float64(i+1), float64(n-i-1)
+		sseHere := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+		if sseHere < best {
+			best = sseHere
+			thr = (ps[i].x + ps[i+1].x) / 2
+			ok = true
+		}
+	}
+	return thr, best, ok
+}
+
+// bestCategoricalSplit orders category levels by mean response and
+// scans that ordering — Fisher's method, optimal for regression
+// without trying all 2^k subsets.
+func (b *treeBuilder) bestCategoricalSplit(rows []int, f int) (mask uint64, sse float64, ok bool) {
+	var sum, sq [maxCategories]float64
+	var cnt [maxCategories]int
+	for _, r := range rows {
+		c := int(b.ds.X[r][f])
+		y := b.ds.Y[r]
+		sum[c] += y
+		sq[c] += y * y
+		cnt[c]++
+	}
+	type lvl struct {
+		cat  int
+		mean float64
+	}
+	var lvls []lvl
+	for c := 0; c < maxCategories; c++ {
+		if cnt[c] > 0 {
+			lvls = append(lvls, lvl{c, sum[c] / float64(cnt[c])})
+		}
+	}
+	if len(lvls) < 2 {
+		return 0, 0, false
+	}
+	sort.Slice(lvls, func(i, j int) bool { return lvls[i].mean < lvls[j].mean })
+	var totalSum, totalSq float64
+	var totalN int
+	for _, l := range lvls {
+		totalSum += sum[l.cat]
+		totalSq += sq[l.cat]
+		totalN += cnt[l.cat]
+	}
+	best := math.Inf(1)
+	var curMask uint64
+	var sumL, sqL float64
+	var nL int
+	for i := 0; i < len(lvls)-1; i++ {
+		c := lvls[i].cat
+		curMask |= 1 << uint(c)
+		sumL += sum[c]
+		sqL += sq[c]
+		nL += cnt[c]
+		nR := totalN - nL
+		if nL == 0 || nR == 0 {
+			continue
+		}
+		sumR := totalSum - sumL
+		sqR := totalSq - sqL
+		sseHere := (sqL - sumL*sumL/float64(nL)) + (sqR - sumR*sumR/float64(nR))
+		if sseHere < best {
+			best = sseHere
+			mask = curMask
+			ok = true
+		}
+	}
+	return mask, best, ok
+}

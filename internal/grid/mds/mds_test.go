@@ -1,0 +1,144 @@
+package mds
+
+import (
+	"testing"
+
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+// fakeLRM is a minimal LRM producing a controllable Info.
+type fakeLRM struct {
+	name string
+	free int
+}
+
+func (f *fakeLRM) Name() string          { return f.name }
+func (f *fakeLRM) Submit(*lrm.Job) error { return nil }
+func (f *fakeLRM) Cancel(string) bool    { return false }
+func (f *fakeLRM) Stats() lrm.Stats      { return lrm.Stats{} }
+func (f *fakeLRM) Info() lrm.Info {
+	return lrm.Info{Name: f.name, Kind: "pbs", TotalCPUs: 8, FreeCPUs: f.free, Stable: true}
+}
+
+func TestPublishLookup(t *testing.T) {
+	eng := sim.NewEngine()
+	idx, err := NewIndex(eng, 5*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Publish(lrm.Info{Name: "r1", FreeCPUs: 3})
+	e, ok := idx.Lookup("r1")
+	if !ok || e.Info.FreeCPUs != 3 {
+		t.Fatalf("lookup failed: %+v %v", e, ok)
+	}
+	if _, ok := idx.Lookup("nope"); ok {
+		t.Error("lookup of unknown resource succeeded")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	eng := sim.NewEngine()
+	idx, _ := NewIndex(eng, 5*sim.Minute)
+	idx.Publish(lrm.Info{Name: "r1"})
+	eng.Schedule(6*sim.Minute, func() {
+		if _, ok := idx.Lookup("r1"); ok {
+			t.Error("entry should have expired")
+		}
+		off := idx.Offline()
+		if len(off) != 1 || off[0] != "r1" {
+			t.Errorf("Offline() = %v", off)
+		}
+	})
+	eng.Run()
+}
+
+func TestProviderKeepsEntryFresh(t *testing.T) {
+	eng := sim.NewEngine()
+	idx, _ := NewIndex(eng, 5*sim.Minute)
+	src := &fakeLRM{name: "cluster", free: 2}
+	p, err := StartProvider(eng, idx, src, 2*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well past several TTLs, the entry must still be fresh and must
+	// reflect updated state.
+	eng.Schedule(30*sim.Minute, func() {
+		src.free = 7
+	})
+	eng.Schedule(40*sim.Minute, func() {
+		e, ok := idx.Lookup("cluster")
+		if !ok {
+			t.Fatal("provider let the entry expire")
+		}
+		if e.Info.FreeCPUs != 7 {
+			t.Errorf("stale FreeCPUs = %d, want 7", e.Info.FreeCPUs)
+		}
+		p.Stop()
+	})
+	// After stopping, the entry ages out (resource offline).
+	eng.Schedule(50*sim.Minute, func() {
+		if _, ok := idx.Lookup("cluster"); ok {
+			t.Error("entry still fresh after provider stopped")
+		}
+	})
+	eng.RunUntil(sim.Time(sim.Hour))
+}
+
+func TestPropagatorAggregatesToCentral(t *testing.T) {
+	eng := sim.NewEngine()
+	local1, _ := NewIndex(eng, 5*sim.Minute)
+	local2, _ := NewIndex(eng, 5*sim.Minute)
+	central, _ := NewIndex(eng, 5*sim.Minute)
+	StartProvider(eng, local1, &fakeLRM{name: "condor-a", free: 1}, sim.Minute)
+	StartProvider(eng, local2, &fakeLRM{name: "pbs-b", free: 2}, sim.Minute)
+	if _, err := StartPropagator(eng, local1, central, 2*sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	StartPropagator(eng, local2, central, 2*sim.Minute)
+	eng.Schedule(10*sim.Minute, func() {
+		snap := central.Snapshot()
+		if len(snap) != 2 {
+			t.Fatalf("central sees %d resources, want 2", len(snap))
+		}
+		if snap[0].Info.Name != "condor-a" || snap[1].Info.Name != "pbs-b" {
+			t.Errorf("snapshot order wrong: %v, %v", snap[0].Info.Name, snap[1].Info.Name)
+		}
+	})
+	eng.RunUntil(sim.Time(15 * sim.Minute))
+}
+
+func TestOfflineResourceDisappearsFromCentral(t *testing.T) {
+	eng := sim.NewEngine()
+	local, _ := NewIndex(eng, 4*sim.Minute)
+	central, _ := NewIndex(eng, 4*sim.Minute)
+	p, _ := StartProvider(eng, local, &fakeLRM{name: "flaky"}, sim.Minute)
+	StartPropagator(eng, local, central, sim.Minute)
+	// Resource "crashes" at t=20min.
+	eng.Schedule(20*sim.Minute, func() { p.Stop() })
+	eng.Schedule(19*sim.Minute, func() {
+		if _, ok := central.Lookup("flaky"); !ok {
+			t.Error("resource should be visible before crash")
+		}
+	})
+	eng.Schedule(30*sim.Minute, func() {
+		if _, ok := central.Lookup("flaky"); ok {
+			t.Error("crashed resource still fresh in central index 10 min later")
+		}
+	})
+	eng.RunUntil(sim.Time(35 * sim.Minute))
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewIndex(eng, 0); err == nil {
+		t.Error("expected error for zero TTL")
+	}
+	idx, _ := NewIndex(eng, sim.Minute)
+	if _, err := StartProvider(eng, idx, &fakeLRM{name: "x"}, 0); err == nil {
+		t.Error("expected error for zero provider period")
+	}
+	if _, err := StartPropagator(eng, idx, idx, 0); err == nil {
+		t.Error("expected error for zero propagator period")
+	}
+}

@@ -1,0 +1,165 @@
+package rsl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+func sampleDescription() *JobDescription {
+	return &JobDescription{
+		JobID:               "garli-0001",
+		Executable:          "/grid/apps/garli",
+		Arguments:           []string{"garli.conf", "rep 1"},
+		Count:               1,
+		MaxMemoryMB:         512,
+		Platforms:           []lrm.Platform{lrm.LinuxX86, lrm.WindowsX86},
+		Software:            []string{"java"},
+		WallLimit:           10 * sim.Hour,
+		EstimatedRefSeconds: 1234.5,
+		DelayBound:          3 * sim.Day,
+		Work:                1e12,
+	}
+}
+
+func TestSpecStringParseRoundTrip(t *testing.T) {
+	d := sampleDescription()
+	text := d.ToSpec().String()
+	spec, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	back, err := FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.JobID != d.JobID || back.Executable != d.Executable ||
+		back.MaxMemoryMB != d.MaxMemoryMB || back.Work != d.Work ||
+		back.WallLimit != d.WallLimit || back.DelayBound != d.DelayBound ||
+		back.EstimatedRefSeconds != d.EstimatedRefSeconds {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, d)
+	}
+	if len(back.Arguments) != 2 || back.Arguments[1] != "rep 1" {
+		t.Errorf("arguments mangled: %q", back.Arguments)
+	}
+	if len(back.Platforms) != 2 {
+		t.Errorf("platforms mangled: %v", back.Platforms)
+	}
+}
+
+func TestParseClassicRSL(t *testing.T) {
+	spec, err := Parse(`&(jobid=j1)(executable=/bin/app)(count=4)(x-work=100)
+		(arguments=a "b c" d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 4 {
+		t.Errorf("count = %d", d.Count)
+	}
+	if len(d.Arguments) != 3 || d.Arguments[1] != "b c" {
+		t.Errorf("arguments = %q", d.Arguments)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(a=1)",
+		"&(=1)",
+		"&(a 1)",
+		"&(a=1",
+		`&(a=")`,
+		"&(jobid=j)(executable=e)(count=zero)(x-work=1)",
+		"&(jobid=j)(executable=e)(count=1)(x-work=nan garbage=)",
+	}
+	for _, in := range bad {
+		spec, err := Parse(in)
+		if err != nil {
+			continue
+		}
+		if _, err := FromSpec(spec); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []func(*JobDescription){
+		func(d *JobDescription) { d.JobID = "" },
+		func(d *JobDescription) { d.Executable = "" },
+		func(d *JobDescription) { d.Count = 0 },
+		func(d *JobDescription) { d.Work = 0 },
+	}
+	for i, mutate := range cases {
+		d := sampleDescription()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestQuotingRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Restrict to printable-ish ASCII to match RSL's charset.
+		val := make([]byte, 0, len(raw))
+		for _, c := range raw {
+			if c >= 32 && c < 127 {
+				val = append(val, c)
+			}
+		}
+		if len(val) == 0 {
+			return true
+		}
+		s := NewSpec()
+		s.Set("jobid", "j")
+		s.Set("executable", "e")
+		s.Set("count", "1")
+		s.Set("x-work", "1")
+		s.Set("arguments", string(val))
+		parsed, err := Parse(s.String())
+		if err != nil {
+			return false
+		}
+		got := parsed.GetAll("arguments")
+		return len(got) == 1 && got[0] == string(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToJobCopiesFields(t *testing.T) {
+	d := sampleDescription()
+	j := d.ToJob()
+	if j.ID != d.JobID || j.Work != d.Work || j.MemoryMB != d.MaxMemoryMB {
+		t.Errorf("ToJob mismatch: %+v", j)
+	}
+	if j.EstimatedRefSeconds != d.EstimatedRefSeconds || j.DelayBound != d.DelayBound {
+		t.Error("estimate/deadline not carried")
+	}
+	// Mutating the job must not affect the description.
+	j.Platforms[0] = "other"
+	if d.Platforms[0] == "other" {
+		t.Error("ToJob shares platform slice with description")
+	}
+}
+
+func TestSpecCanonicalOrder(t *testing.T) {
+	s := NewSpec()
+	s.Set("zeta", "1")
+	s.Set("alpha", "2")
+	out := s.String()
+	if out != `&(alpha=2)(zeta=1)` {
+		t.Errorf("canonical form = %q", out)
+	}
+}

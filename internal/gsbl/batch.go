@@ -1,0 +1,218 @@
+package gsbl
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"sort"
+
+	"lattice/internal/metasched"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// BatchStatus summarizes a batch's progress.
+type BatchStatus struct {
+	ID        string
+	Total     int
+	Completed int
+	Failed    int
+	Pending   int
+	Running   int
+	Done      bool
+	CreatedAt sim.Time
+	DoneAt    sim.Time
+}
+
+// Batch tracks one portal submission through the grid.
+type Batch struct {
+	ID         string
+	Submission workload.Submission
+	Jobs       []*metasched.GridJob
+	CreatedAt  sim.Time
+	DoneAt     sim.Time
+	done       bool
+}
+
+// Service is the grid-services facade: it validates submissions,
+// expands them into grid jobs via the meta-scheduler, tracks batches,
+// notifies users, and packages results.
+type Service struct {
+	eng     *sim.Engine
+	sched   *metasched.Scheduler
+	mailer  *Mailer
+	rng     *sim.RNG
+	batches map[string]*Batch
+	nextID  int
+}
+
+// NewService wires the facade.
+func NewService(eng *sim.Engine, sched *metasched.Scheduler, mailer *Mailer, rng *sim.RNG) *Service {
+	return &Service{
+		eng:     eng,
+		sched:   sched,
+		mailer:  mailer,
+		rng:     rng,
+		batches: make(map[string]*Batch),
+	}
+}
+
+// Validate runs the GARLI validation pre-pass applied "before any jobs
+// are scheduled … to ensure there are no problems with the data files
+// and parameters specified".
+func (s *Service) Validate(sub *workload.Submission) error {
+	return sub.Validate()
+}
+
+// SubmitBatch validates and schedules a submission. On completion of
+// every replicate the user is emailed and results become downloadable.
+func (s *Service) SubmitBatch(sub workload.Submission) (*Batch, error) {
+	if err := s.Validate(&sub); err != nil {
+		return nil, err
+	}
+	s.nextID++
+	b := &Batch{
+		ID:         fmt.Sprintf("batch-%06d", s.nextID),
+		Submission: sub,
+		CreatedAt:  s.eng.Now(),
+	}
+	jobs, err := s.sched.SubmitBatch(&sub, s.rng, func(j *metasched.GridJob) { s.jobDone(b, j) })
+	if err != nil {
+		return nil, err
+	}
+	b.Jobs = jobs
+	s.batches[b.ID] = b
+	s.mailer.Send(s.eng.Now(), sub.UserEmail,
+		fmt.Sprintf("[Lattice] %s submitted", b.ID),
+		fmt.Sprintf("Your submission of %d replicates was accepted as %s (%d grid jobs).",
+			sub.Replicates, b.ID, len(jobs)))
+	return b, nil
+}
+
+// jobDone handles a terminal job state and fires batch-level events.
+func (s *Service) jobDone(b *Batch, j *metasched.GridJob) {
+	if j.Status == metasched.StatusFailed {
+		s.mailer.Send(s.eng.Now(), b.Submission.UserEmail,
+			fmt.Sprintf("[Lattice] job failure in %s", b.ID),
+			fmt.Sprintf("Job %s failed: %s", j.Desc.JobID, j.FailReason))
+	}
+	st := s.status(b)
+	if st.Done && !b.done {
+		b.done = true
+		b.DoneAt = s.eng.Now()
+		s.mailer.Send(s.eng.Now(), b.Submission.UserEmail,
+			fmt.Sprintf("[Lattice] %s complete", b.ID),
+			fmt.Sprintf("All %d jobs finished (%d completed, %d failed). Results are ready for download.",
+				st.Total, st.Completed, st.Failed))
+	}
+}
+
+// Batch returns a batch by ID.
+func (s *Service) Batch(id string) (*Batch, bool) {
+	b, ok := s.batches[id]
+	return b, ok
+}
+
+// Batches lists batch IDs in creation order.
+func (s *Service) Batches() []string {
+	ids := make([]string, 0, len(s.batches))
+	for id := range s.batches {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Status reports batch progress.
+func (s *Service) Status(id string) (BatchStatus, error) {
+	b, ok := s.batches[id]
+	if !ok {
+		return BatchStatus{}, fmt.Errorf("gsbl: unknown batch %s", id)
+	}
+	return s.status(b), nil
+}
+
+func (s *Service) status(b *Batch) BatchStatus {
+	st := BatchStatus{ID: b.ID, Total: len(b.Jobs), CreatedAt: b.CreatedAt, DoneAt: b.DoneAt}
+	for _, j := range b.Jobs {
+		switch j.Status {
+		case metasched.StatusCompleted:
+			st.Completed++
+		case metasched.StatusFailed:
+			st.Failed++
+		case metasched.StatusRunning:
+			st.Running++
+		default:
+			st.Pending++
+		}
+	}
+	st.Done = st.Completed+st.Failed == st.Total
+	return st
+}
+
+// CancelBatch cancels every non-terminal job of a batch.
+func (s *Service) CancelBatch(id string) error {
+	b, ok := s.batches[id]
+	if !ok {
+		return fmt.Errorf("gsbl: unknown batch %s", id)
+	}
+	for _, j := range b.Jobs {
+		s.sched.Cancel(j.Desc.JobID)
+	}
+	return nil
+}
+
+// ResultsZip packages a finished batch's outputs into one zip archive,
+// the post-processing step the portal serves for download. Each job
+// contributes its result files; a batch-level summary is included.
+func (s *Service) ResultsZip(id string) ([]byte, error) {
+	b, ok := s.batches[id]
+	if !ok {
+		return nil, fmt.Errorf("gsbl: unknown batch %s", id)
+	}
+	st := s.status(b)
+	if !st.Done {
+		return nil, fmt.Errorf("gsbl: batch %s still has %d jobs outstanding", id, st.Pending+st.Running)
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	summary := &bytes.Buffer{}
+	fmt.Fprintf(summary, "batch: %s\nreplicates: %d\njobs: %d\ncompleted: %d\nfailed: %d\n",
+		b.ID, b.Submission.Replicates, st.Total, st.Completed, st.Failed)
+	fmt.Fprintf(summary, "submitted_at: %.0f\nfinished_at: %.0f\n",
+		float64(b.CreatedAt), float64(b.DoneAt))
+	for _, j := range b.Jobs {
+		name := j.Desc.JobID
+		if j.Status == metasched.StatusCompleted {
+			w, err := zw.Create(name + ".best.tre")
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "# best tree for %s (searchreps=%d) from resource %s\n",
+				name, j.Spec.SearchReps, j.Resource)
+			lw, err := zw.Create(name + ".screen.log")
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(lw, "job %s\nresource %s\nattempts %d\nwall_seconds %.0f\n",
+				name, j.Resource, j.Attempts, float64(j.CompletedAt.Sub(j.StartedAt)))
+		} else {
+			w, err := zw.Create(name + ".FAILED")
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "%s\n", j.FailReason)
+		}
+	}
+	w, err := zw.Create("batch_summary.txt")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(summary.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,338 @@
+// Package condor simulates a Condor pool: institutional desktop
+// machines scavenged for cycles while their owners are away ("Condor —
+// a hunter of idle workstations"). Machines alternate between
+// owner-present and owner-absent periods; a grid job executes only
+// while the owner is away and is preempted (killed and requeued) the
+// moment the owner returns. This is the canonical "unstable" resource
+// of the paper's stability criterion: short jobs slip into idle
+// windows, long jobs thrash.
+package condor
+
+import (
+	"fmt"
+
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+// Machine describes one workstation in the pool.
+type Machine struct {
+	// Speed is the machine's execution rate relative to the
+	// reference computer (1.0 = reference).
+	Speed float64
+	// MemoryMB is usable memory for grid jobs.
+	MemoryMB int
+	// Platform is the machine's OS/architecture.
+	Platform lrm.Platform
+	// MeanOwnerAway and MeanOwnerBusy parameterize the exponential
+	// owner-activity process: expected idle (scavengeable) and busy
+	// period lengths.
+	MeanOwnerAway sim.Duration
+	MeanOwnerBusy sim.Duration
+}
+
+// Config describes a pool.
+type Config struct {
+	Name     string
+	Machines []Machine
+	// Software available on all pool machines.
+	Software []string
+	// MaxRequeues bounds how many times one job may be preempted
+	// before the pool gives up and fails it (0 = unlimited; real
+	// Condor requeues indefinitely, which for long jobs on busy pools
+	// means never finishing).
+	MaxRequeues int
+	// Checkpointing selects Condor's standard universe: preempted
+	// jobs resume from a checkpoint on their next machine instead of
+	// restarting from scratch, paying CheckpointOverhead per
+	// migration (checkpoint write + transfer + restore).
+	Checkpointing bool
+	// CheckpointOverhead is the per-migration cost in reference
+	// seconds (default 60 when Checkpointing is set).
+	CheckpointOverhead float64
+}
+
+type machineState struct {
+	Machine
+	ownerPresent bool
+	running      *running
+}
+
+type running struct {
+	job       *lrm.Job
+	startedAt sim.Time
+	doneEvent sim.EventID
+	wallEvent sim.EventID
+	remaining float64 // work being executed in this attempt
+	machine   *machineState
+}
+
+type queued struct {
+	job      *lrm.Job
+	requeues int
+	// remaining is the work left to execute (checkpointing pools
+	// preserve progress across preemptions).
+	remaining float64
+}
+
+// Pool is a Condor pool LRM.
+type Pool struct {
+	eng      *sim.Engine
+	rng      *sim.RNG
+	cfg      Config
+	machines []*machineState
+	queue    []*queued
+	stats    lrm.Stats
+	// requeueCounts tracks per-job preemption counts across requeues.
+	requeueCounts map[string]int
+}
+
+// New builds a pool and starts every machine's owner-activity process.
+// Machines begin with the owner present and become available after
+// their first busy period elapses.
+func New(eng *sim.Engine, rng *sim.RNG, cfg Config) (*Pool, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("condor: pool has no name")
+	}
+	if len(cfg.Machines) == 0 {
+		return nil, fmt.Errorf("condor: pool %s has no machines", cfg.Name)
+	}
+	p := &Pool{eng: eng, rng: rng, cfg: cfg, requeueCounts: make(map[string]int)}
+	for i, m := range cfg.Machines {
+		if m.Speed <= 0 {
+			return nil, fmt.Errorf("condor: machine %d has non-positive speed", i)
+		}
+		ms := &machineState{Machine: m, ownerPresent: true}
+		p.machines = append(p.machines, ms)
+		p.scheduleOwnerDeparture(ms)
+	}
+	return p, nil
+}
+
+// Name implements lrm.LRM.
+func (p *Pool) Name() string { return p.cfg.Name }
+
+func (p *Pool) scheduleOwnerDeparture(m *machineState) {
+	p.eng.Schedule(p.rng.ExpDuration(m.MeanOwnerBusy), func() {
+		m.ownerPresent = false
+		p.scheduleOwnerReturn(m)
+		p.tryDispatch()
+	})
+}
+
+func (p *Pool) scheduleOwnerReturn(m *machineState) {
+	p.eng.Schedule(p.rng.ExpDuration(m.MeanOwnerAway), func() {
+		m.ownerPresent = true
+		if m.running != nil {
+			p.preempt(m)
+		}
+		p.scheduleOwnerDeparture(m)
+	})
+}
+
+// preempt kills the running job and requeues it. In the vanilla
+// universe all progress is lost; in the standard universe (see
+// Config.Checkpointing) the job resumes from a checkpoint and only the
+// migration overhead is wasted.
+func (p *Pool) preempt(m *machineState) {
+	r := m.running
+	m.running = nil
+	p.eng.Cancel(r.doneEvent)
+	p.eng.Cancel(r.wallEvent)
+	elapsed := p.eng.Now().Sub(r.startedAt)
+	p.stats.Preemptions++
+	q := &queued{job: r.job, requeues: 1, remaining: r.remaining}
+	if p.cfg.Checkpointing {
+		done := elapsed.Seconds() * m.Speed * lrm.ReferenceCellsPerSecond
+		q.remaining -= done
+		if q.remaining < 0 {
+			q.remaining = 0
+		}
+		overhead := p.cfg.CheckpointOverhead
+		if overhead <= 0 {
+			overhead = 60
+		}
+		q.remaining += overhead * lrm.ReferenceCellsPerSecond
+		p.stats.WastedCPU += overhead
+	} else {
+		p.stats.WastedCPU += elapsed.Seconds() * m.Speed
+	}
+	// Recover the prior requeue count if tracked via closure-free
+	// bookkeeping: we keep it in the queued record only, so requeues
+	// accumulate by re-wrapping.
+	if prior, ok := p.requeueCounts[r.job.ID]; ok {
+		q.requeues = prior + 1
+	}
+	p.requeueCounts[r.job.ID] = q.requeues
+	if p.cfg.MaxRequeues > 0 && q.requeues > p.cfg.MaxRequeues {
+		p.stats.Failed++
+		delete(p.requeueCounts, r.job.ID)
+		if r.job.OnFail != nil {
+			r.job.OnFail(p.eng.Now(), "condor: requeue limit exceeded")
+		}
+		return
+	}
+	p.queue = append(p.queue, q)
+	// The machine is owner-occupied now; another machine may take it.
+	p.tryDispatch()
+}
+
+// Submit implements lrm.LRM.
+func (p *Pool) Submit(j *lrm.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.NeedsMPI {
+		return fmt.Errorf("condor: pool %s cannot run MPI jobs", p.cfg.Name)
+	}
+	p.stats.TotalQueued++
+	p.queue = append(p.queue, &queued{job: j, remaining: j.Work})
+	if len(p.queue) > p.stats.MaxQueueSeen {
+		p.stats.MaxQueueSeen = len(p.queue)
+	}
+	p.tryDispatch()
+	return nil
+}
+
+// Cancel implements lrm.LRM.
+func (p *Pool) Cancel(jobID string) bool {
+	for i, q := range p.queue {
+		if q.job.ID == jobID {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			delete(p.requeueCounts, jobID)
+			return true
+		}
+	}
+	for _, m := range p.machines {
+		if m.running != nil && m.running.job.ID == jobID {
+			p.eng.Cancel(m.running.doneEvent)
+			p.eng.Cancel(m.running.wallEvent)
+			m.running = nil
+			delete(p.requeueCounts, jobID)
+			p.tryDispatch()
+			return true
+		}
+	}
+	return false
+}
+
+// fits reports whether the job can run on machine m.
+func (p *Pool) fits(j *lrm.Job, m *machineState) bool {
+	if j.MemoryMB > m.MemoryMB {
+		return false
+	}
+	if len(j.Platforms) > 0 {
+		ok := false
+		for _, pf := range j.Platforms {
+			if pf == m.Platform {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, s := range j.Software {
+		found := false
+		for _, have := range p.cfg.Software {
+			if s == have {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// tryDispatch matches queued jobs to idle owner-absent machines, FIFO
+// with first-fit (Condor matchmaking at pool granularity).
+func (p *Pool) tryDispatch() {
+	for qi := 0; qi < len(p.queue); {
+		q := p.queue[qi]
+		var target *machineState
+		for _, m := range p.machines {
+			if !m.ownerPresent && m.running == nil && p.fits(q.job, m) {
+				target = m
+				break
+			}
+		}
+		if target == nil {
+			qi++
+			continue
+		}
+		p.queue = append(p.queue[:qi], p.queue[qi+1:]...)
+		p.start(q, target)
+	}
+}
+
+func (p *Pool) start(q *queued, m *machineState) {
+	j := q.job
+	r := &running{job: j, startedAt: p.eng.Now(), remaining: q.remaining, machine: m}
+	m.running = r
+	dur := sim.Duration(q.remaining / (m.Speed * lrm.ReferenceCellsPerSecond))
+	r.doneEvent = p.eng.Schedule(dur, func() {
+		m.running = nil
+		p.eng.Cancel(r.wallEvent)
+		p.stats.Completed++
+		p.stats.CPUSeconds += dur.Seconds() * m.Speed
+		delete(p.requeueCounts, j.ID)
+		if j.OnComplete != nil {
+			j.OnComplete(p.eng.Now())
+		}
+		p.tryDispatch()
+	})
+	if j.WallLimit > 0 && j.WallLimit < dur {
+		r.wallEvent = p.eng.Schedule(j.WallLimit, func() {
+			m.running = nil
+			p.eng.Cancel(r.doneEvent)
+			p.stats.Failed++
+			p.stats.WastedCPU += j.WallLimit.Seconds() * m.Speed
+			delete(p.requeueCounts, j.ID)
+			if j.OnFail != nil {
+				j.OnFail(p.eng.Now(), "condor: wall clock limit exceeded")
+			}
+			p.tryDispatch()
+		})
+	}
+}
+
+func durationOn(j *lrm.Job, speed float64) sim.Duration {
+	return sim.Duration(j.Work / (speed * lrm.ReferenceCellsPerSecond))
+}
+
+// Info implements lrm.LRM.
+func (p *Pool) Info() lrm.Info {
+	info := lrm.Info{
+		Name:     p.cfg.Name,
+		Kind:     "condor",
+		Software: p.cfg.Software,
+		Stable:   false,
+		MPI:      false,
+	}
+	seen := map[lrm.Platform]bool{}
+	for _, m := range p.machines {
+		info.TotalCPUs++
+		if !m.ownerPresent && m.running == nil {
+			info.FreeCPUs++
+		}
+		if m.running != nil {
+			info.RunningJobs++
+		}
+		if m.MemoryMB > info.NodeMemoryMB {
+			info.NodeMemoryMB = m.MemoryMB
+		}
+		if !seen[m.Platform] {
+			seen[m.Platform] = true
+			info.Platforms = append(info.Platforms, m.Platform)
+		}
+	}
+	info.QueuedJobs = len(p.queue)
+	return info
+}
+
+// Stats implements lrm.LRM.
+func (p *Pool) Stats() lrm.Stats { return p.stats }

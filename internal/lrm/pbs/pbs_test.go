@@ -1,0 +1,285 @@
+package pbs
+
+import (
+	"fmt"
+	"testing"
+
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+func testCluster(t *testing.T) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := New(eng, Config{
+		Name:     "hpc",
+		Platform: lrm.LinuxX86,
+		MPI:      true,
+		Nodes: []NodeClass{
+			{Count: 4, Speed: 2.0, MemoryMB: 4096},
+			{Count: 2, Speed: 1.5, MemoryMB: 32768}, // large-memory nodes
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func job(id string, refSeconds float64) *lrm.Job {
+	return &lrm.Job{ID: id, Work: refSeconds * lrm.ReferenceCellsPerSecond, MemoryMB: 512}
+}
+
+func TestFIFOCompletion(t *testing.T) {
+	eng, c := testCluster(t)
+	done := 0
+	for i := 0; i < 30; i++ {
+		j := job(fmt.Sprintf("j%d", i), 3600)
+		j.OnComplete = func(sim.Time) { done++ }
+		if err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if done != 30 {
+		t.Fatalf("%d of 30 jobs completed", done)
+	}
+	if c.Stats().Preemptions != 0 {
+		t.Error("dedicated cluster preempted jobs")
+	}
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	run := func() sim.Time {
+		eng, c := testCluster(t)
+		for i := 0; i < 12; i++ {
+			if err := c.Submit(job(fmt.Sprintf("j%d", i), 7200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng.Run()
+	}
+	if run() != run() {
+		t.Error("same workload produced different makespans")
+	}
+}
+
+func TestLargeMemoryRouting(t *testing.T) {
+	eng, c := testCluster(t)
+	big := job("big", 600)
+	big.MemoryMB = 16384
+	done := false
+	big.OnComplete = func(sim.Time) { done = true }
+	if err := c.Submit(big); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("large-memory job did not run on the big nodes")
+	}
+	tooBig := job("huge", 600)
+	tooBig.MemoryMB = 65536
+	if err := c.Submit(tooBig); err == nil {
+		t.Error("cluster accepted a job no node can hold")
+	}
+}
+
+func TestBackfill(t *testing.T) {
+	// Fill all big-memory nodes with long jobs, then submit a
+	// large-memory head-of-line job followed by small jobs: the small
+	// jobs must not wait for the big one.
+	eng, c := testCluster(t)
+	for i := 0; i < 2; i++ {
+		j := job(fmt.Sprintf("block%d", i), 50*3600)
+		j.MemoryMB = 16384
+		if err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headBlocked := job("head", 600)
+	headBlocked.MemoryMB = 16384
+	var headDone sim.Time
+	headBlocked.OnComplete = func(at sim.Time) { headDone = at }
+	if err := c.Submit(headBlocked); err != nil {
+		t.Fatal(err)
+	}
+	var smallDone sim.Time
+	small := job("small", 600)
+	small.OnComplete = func(at sim.Time) { smallDone = at }
+	if err := c.Submit(small); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if smallDone == 0 || headDone == 0 {
+		t.Fatal("jobs did not complete")
+	}
+	if smallDone >= headDone {
+		t.Errorf("backfill failed: small done at %v, blocked head at %v", smallDone, headDone)
+	}
+}
+
+func TestMPIPolicy(t *testing.T) {
+	eng := sim.NewEngine()
+	noMPI, err := New(eng, Config{Name: "serial", Platform: lrm.LinuxX86, Nodes: []NodeClass{{Count: 1, Speed: 1, MemoryMB: 1024}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job("mpi", 60)
+	j.NeedsMPI = true
+	if err := noMPI.Submit(j); err == nil {
+		t.Error("non-MPI cluster accepted MPI job")
+	}
+	_, withMPI := testCluster(t)
+	if err := withMPI.Submit(j); err != nil {
+		t.Errorf("MPI cluster rejected MPI job: %v", err)
+	}
+}
+
+func TestPlatformPolicy(t *testing.T) {
+	_, c := testCluster(t)
+	j := job("win", 60)
+	j.Platforms = []lrm.Platform{lrm.WindowsX86}
+	if err := c.Submit(j); err == nil {
+		t.Error("linux cluster accepted windows-only job")
+	}
+}
+
+func TestDefaultWallLimit(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := New(eng, Config{
+		Name: "lim", Platform: lrm.LinuxX86,
+		Nodes:            []NodeClass{{Count: 1, Speed: 1, MemoryMB: 1024}},
+		DefaultWallLimit: sim.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job("long", 4*3600)
+	failed := false
+	j.OnFail = func(sim.Time, string) { failed = true }
+	if err := c.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !failed {
+		t.Error("queue wall limit not enforced")
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	eng, c := testCluster(t)
+	// Saturate the 6 nodes.
+	for i := 0; i < 6; i++ {
+		if err := c.Submit(job(fmt.Sprintf("r%d", i), 3600)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queued := job("q", 3600)
+	if err := c.Submit(queued); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cancel("q") {
+		t.Error("queued job not cancellable")
+	}
+	if !c.Cancel("r0") {
+		t.Error("running job not cancellable")
+	}
+	if c.Cancel("r0") {
+		t.Error("double cancel returned true")
+	}
+	eng.Run()
+	if got := c.Stats().Completed; got != 5 {
+		t.Errorf("completed = %d, want 5", got)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	eng, c := testCluster(t)
+	if err := c.Submit(job("one", 3600)); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(sim.Minute))
+	info := c.Info()
+	if info.TotalCPUs != 6 || info.FreeCPUs != 5 {
+		t.Errorf("CPUs = %d/%d, want 5/6 free", info.FreeCPUs, info.TotalCPUs)
+	}
+	if !info.Stable || !info.MPI || info.Kind != "pbs" {
+		t.Errorf("info wrong: %+v", info)
+	}
+	if info.NodeMemoryMB != 32768 {
+		t.Errorf("NodeMemoryMB = %d", info.NodeMemoryMB)
+	}
+}
+
+func TestMPIMultiNodeJob(t *testing.T) {
+	eng, c := testCluster(t)
+	// An 8-reference-hour MPI job across 4 speed-2.0 nodes at 85%
+	// efficiency: 8 h / (4 × 2.0 × 0.85) ≈ 1.18 h.
+	j := job("mpi4", 8*3600)
+	j.NeedsMPI = true
+	j.Nodes = 4
+	var doneAt sim.Time
+	j.OnComplete = func(at sim.Time) { doneAt = at }
+	if err := c.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	// While the MPI job runs, only 2 of the 4 fast nodes remain.
+	eng.RunUntil(sim.Time(10 * sim.Minute))
+	if free := c.Info().FreeCPUs; free != 2 {
+		t.Errorf("free nodes during MPI run = %d, want 2", free)
+	}
+	eng.Run()
+	want := 8 * 3600 / (4 * 2.0 * 0.85)
+	if got := float64(doneAt); got < want*0.99 || got > want*1.01 {
+		t.Errorf("MPI job finished at %.0f s, want ≈ %.0f", got, want)
+	}
+}
+
+func TestMPIValidation(t *testing.T) {
+	_, c := testCluster(t)
+	tooWide := job("wide", 60)
+	tooWide.NeedsMPI = true
+	tooWide.Nodes = 100
+	if err := c.Submit(tooWide); err == nil {
+		t.Error("cluster accepted an MPI job wider than itself")
+	}
+	serialMulti := job("serialmulti", 60)
+	serialMulti.Nodes = 3
+	if err := c.Submit(serialMulti); err == nil {
+		t.Error("cluster accepted a multi-node non-MPI job")
+	}
+}
+
+func TestMPIJobWaitsForEnoughNodes(t *testing.T) {
+	eng, c := testCluster(t)
+	// Occupy 5 of 6 nodes with 2-hour serial jobs; a 4-node MPI job
+	// must wait until enough free up, while serial backfill continues.
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(job(fmt.Sprintf("s%d", i), 2*3600)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mpi := job("mpi", 3600)
+	mpi.NeedsMPI = true
+	mpi.Nodes = 4
+	var mpiStartObserved bool
+	mpi.OnComplete = func(sim.Time) { mpiStartObserved = true }
+	if err := c.Submit(mpi); err != nil {
+		t.Fatal(err)
+	}
+	late := job("late", 600)
+	var lateDone sim.Time
+	late.OnComplete = func(at sim.Time) { lateDone = at }
+	if err := c.Submit(late); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !mpiStartObserved {
+		t.Fatal("MPI job never ran")
+	}
+	if lateDone == 0 || lateDone > sim.Time(time2h()) {
+		t.Errorf("backfill job done at %v; should have used the remaining free node immediately", lateDone)
+	}
+}
+
+func time2h() float64 { return 2 * 3600 }

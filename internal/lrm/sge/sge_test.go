@@ -1,0 +1,177 @@
+package sge
+
+import (
+	"fmt"
+	"testing"
+
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+)
+
+func testCluster(t *testing.T) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := New(eng, Config{
+		Name:     "sge",
+		Platform: lrm.LinuxX86,
+		Nodes: []NodeClass{
+			{Count: 2, Cores: 8, Speed: 1.5, MemoryMB: 16384},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func job(id string, refSeconds float64, memMB int) *lrm.Job {
+	return &lrm.Job{ID: id, Work: refSeconds * lrm.ReferenceCellsPerSecond, MemoryMB: memMB}
+}
+
+func TestSlotPacking(t *testing.T) {
+	eng, c := testCluster(t)
+	// 16 slots total: 16 equal jobs should all run concurrently and
+	// finish simultaneously.
+	var finish []sim.Time
+	for i := 0; i < 16; i++ {
+		j := job(fmt.Sprintf("j%d", i), 3600, 512)
+		j.OnComplete = func(at sim.Time) { finish = append(finish, at) }
+		if err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(finish) != 16 {
+		t.Fatalf("%d of 16 completed", len(finish))
+	}
+	for _, f := range finish {
+		if f != finish[0] {
+			t.Fatalf("16 identical jobs on 16 slots should finish together: %v vs %v", f, finish[0])
+		}
+	}
+	// With speed 1.5 a 3600-reference-second job takes 2400 s.
+	if want := sim.Time(2400); finish[0] != want {
+		t.Errorf("finish at %v, want %v", finish[0], want)
+	}
+}
+
+func TestSharedMemoryConstraint(t *testing.T) {
+	eng, c := testCluster(t)
+	// Each node has 16 GB; four 6 GB jobs need 24 GB total, so only
+	// two fit per node concurrently despite 8 free cores.
+	var running, maxRunning int
+	for i := 0; i < 4; i++ {
+		j := job(fmt.Sprintf("m%d", i), 3600, 6144)
+		j.OnComplete = func(sim.Time) { running-- }
+		if err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Track concurrency via Info polling.
+	stop := eng.Every(sim.Minute, func() {
+		if r := c.Info().RunningJobs; r > maxRunning {
+			maxRunning = r
+		}
+		running = 0
+	})
+	eng.RunUntil(sim.Time(6 * sim.Hour))
+	stop()
+	if maxRunning != 4 {
+		t.Errorf("max concurrent = %d, want 4 (2 per node by memory)", maxRunning)
+	}
+}
+
+func TestRejectsOversizedAndWrongPlatform(t *testing.T) {
+	_, c := testCluster(t)
+	if err := c.Submit(job("big", 60, 32768)); err == nil {
+		t.Error("accepted job larger than node memory")
+	}
+	j := job("mac", 60, 512)
+	j.Platforms = []lrm.Platform{lrm.DarwinX86}
+	if err := c.Submit(j); err == nil {
+		t.Error("accepted job for missing platform")
+	}
+	mpi := job("mpi", 60, 512)
+	mpi.NeedsMPI = true
+	if err := c.Submit(mpi); err == nil {
+		t.Error("non-MPI SGE accepted MPI job")
+	}
+}
+
+func TestQueueDrainsInOrder(t *testing.T) {
+	eng, c := testCluster(t)
+	var order []string
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("j%02d", i)
+		j := job(id, 1800, 512)
+		j.OnComplete = func(sim.Time) { order = append(order, id) }
+		if err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(order) != 40 {
+		t.Fatalf("%d of 40 completed", len(order))
+	}
+	// First 16 submitted must be the first 16 finished (same length,
+	// FIFO start order).
+	early := map[string]bool{}
+	for _, id := range order[:16] {
+		early[id] = true
+	}
+	for i := 0; i < 16; i++ {
+		if !early[fmt.Sprintf("j%02d", i)] {
+			t.Errorf("FIFO violated: j%02d not in first wave %v", i, order[:16])
+			break
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng, c := testCluster(t)
+	for i := 0; i < 16; i++ {
+		if err := c.Submit(job(fmt.Sprintf("r%d", i), 3600, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Submit(job("queued", 3600, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cancel("queued") || !c.Cancel("r3") {
+		t.Error("cancel failed")
+	}
+	eng.Run()
+	if got := c.Stats().Completed; got != 15 {
+		t.Errorf("completed = %d, want 15", got)
+	}
+}
+
+func TestWallLimit(t *testing.T) {
+	eng, c := testCluster(t)
+	j := job("w", 7200, 512)
+	j.WallLimit = sim.Hour
+	failed := false
+	j.OnFail = func(sim.Time, string) { failed = true }
+	if err := c.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !failed {
+		t.Error("wall limit not enforced")
+	}
+}
+
+func TestInfoCountsSlots(t *testing.T) {
+	eng, c := testCluster(t)
+	if err := c.Submit(job("x", 3600, 512)); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(sim.Minute))
+	info := c.Info()
+	if info.TotalCPUs != 16 || info.FreeCPUs != 15 {
+		t.Errorf("slots = %d/%d", info.FreeCPUs, info.TotalCPUs)
+	}
+	if info.Kind != "sge" || !info.Stable {
+		t.Errorf("info wrong: %+v", info)
+	}
+}

@@ -1,0 +1,277 @@
+// Package metasched implements the grid-level scheduler of Section V:
+// it watches resource state through MDS, filters resources by job
+// requirements (platform, memory, MPI capability, software
+// dependencies), ranks the eligible ones by current load, measured
+// speed, and stability, gates long jobs off unstable resources using a
+// priori runtime estimates, bundles very short jobs to amortize
+// per-job overhead, and computes BOINC workunit deadlines from the
+// estimates.
+package metasched
+
+import (
+	"fmt"
+
+	"lattice/internal/grid/adapter"
+	"lattice/internal/grid/mds"
+	"lattice/internal/grid/rsl"
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// Policy selects how much of the paper's ranking machinery is active —
+// the experiment knob for E4/E5.
+type Policy int
+
+const (
+	// PolicyNaive spreads load evenly, ignoring speed and stability
+	// ("such a naïve algorithm does not use resources very
+	// efficiently").
+	PolicyNaive Policy = iota
+	// PolicySpeedAware adds measured resource speed to the ranking.
+	PolicySpeedAware
+	// PolicyFull adds the stability criterion: jobs estimated longer
+	// than the threshold never go to unstable resources.
+	PolicyFull
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNaive:
+		return "naive"
+	case PolicySpeedAware:
+		return "speed-aware"
+	case PolicyFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Predictor supplies a priori runtime estimates on the reference
+// computer; estimate.Estimator satisfies it.
+type Predictor interface {
+	Predict(spec *workload.JobSpec) (float64, error)
+}
+
+// Config holds scheduler policy.
+type Config struct {
+	Policy Policy
+	// UnstableMaxEstimate is the paper's n = 10 hours: unstable
+	// resources get no job estimated (after speed scaling) to run
+	// longer than this.
+	UnstableMaxEstimate sim.Duration
+	// BoincDeadlineSlack multiplies the speed-scaled estimate to set
+	// a BOINC workunit deadline.
+	BoincDeadlineSlack float64
+	// FixedBoincDeadline, when set, overrides estimate-driven
+	// deadlines (the pre-integration manual behaviour; E7 baseline).
+	FixedBoincDeadline sim.Duration
+	// PerJobOverheadSeconds is the fixed grid overhead (staging,
+	// submission, result handling) added to every job — what
+	// replicate bundling amortizes.
+	PerJobOverheadSeconds float64
+	// BundleTargetSeconds: when a job's estimate is below
+	// MinJobSeconds, replicates are merged until the bundle reaches
+	// this target ("ratchet up the number of search replicates").
+	// 0 disables bundling.
+	BundleTargetSeconds float64
+	// MinJobSeconds is the threshold below which jobs are considered
+	// "very short".
+	MinJobSeconds float64
+	// RetryLimit bounds rescheduling attempts after resource-level
+	// failures.
+	RetryLimit int
+	// RescanInterval is how often pending (unplaceable) jobs are
+	// retried against the current MDS view.
+	RescanInterval sim.Duration
+	// DisableSpeedScaledGate makes the stability gate compare the raw
+	// reference estimate against the threshold instead of the
+	// speed-scaled one — the ablation of Section VI-E(a)'s scaling.
+	DisableSpeedScaledGate bool
+	// StageBandwidthMBps models the data-placement link between the
+	// grid node and each resource: a job with input files waits
+	// InputMB / bandwidth before its local submission, and its
+	// results take OutputMB / bandwidth to come back (0 disables
+	// staging delays).
+	StageBandwidthMBps float64
+	// MaxBacklogFactor caps how many of this scheduler's jobs may be
+	// outstanding on one resource, as a multiple of its CPU count
+	// (0 = default 2). Beyond the cap, jobs wait in the grid-level
+	// pending queue and flow to whichever resource drains first —
+	// "the grid system breaks these up into smaller batches and may
+	// schedule each of these batches to a different grid computing
+	// resource".
+	MaxBacklogFactor float64
+}
+
+// DefaultConfig mirrors the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Policy:                PolicyFull,
+		UnstableMaxEstimate:   10 * sim.Hour,
+		BoincDeadlineSlack:    3,
+		PerJobOverheadSeconds: 30,
+		BundleTargetSeconds:   1800,
+		MinJobSeconds:         300,
+		RetryLimit:            5,
+		RescanInterval:        2 * sim.Minute,
+		StageBandwidthMBps:    50,
+	}
+}
+
+// JobStatus tracks a grid job through its lifecycle.
+type JobStatus int
+
+const (
+	StatusPending JobStatus = iota
+	StatusRunning
+	StatusCompleted
+	StatusFailed
+)
+
+func (s JobStatus) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusRunning:
+		return "running"
+	case StatusCompleted:
+		return "completed"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// GridJob is the scheduler's record of one job.
+type GridJob struct {
+	Desc *rsl.JobDescription
+	Spec *workload.JobSpec
+
+	Status      JobStatus
+	Resource    string
+	Attempts    int
+	SubmittedAt sim.Time
+	StartedAt   sim.Time
+	CompletedAt sim.Time
+	FailReason  string
+	// EstimateRefSeconds is the prediction used for placement (0 when
+	// no model was available).
+	EstimateRefSeconds float64
+
+	// OnDone fires on terminal status (completed or failed).
+	OnDone func(j *GridJob)
+}
+
+// Stats aggregates scheduler behaviour.
+type Stats struct {
+	Submitted     int
+	Completed     int
+	Failed        int
+	Retries       int
+	Bundled       int // jobs merged away by replicate bundling
+	UnplaceableAt int // scheduling passes that left jobs pending
+}
+
+// resource is a registered target.
+type resource struct {
+	lrm     lrm.LRM
+	adapter adapter.Adapter
+	speed   float64
+	// active counts this scheduler's jobs dispatched to the resource
+	// and not yet terminal — the scheduler's own view of the load it
+	// has created, which is fresher than the MDS entry (whose refresh
+	// lags by the provider period). Without it, a burst of arrivals
+	// all sees the same stale "free" snapshot and lands on one
+	// resource.
+	active int
+}
+
+// Scheduler is the grid-level scheduler.
+type Scheduler struct {
+	eng       *sim.Engine
+	idx       *mds.Index
+	cfg       Config
+	predictor Predictor
+	resources map[string]*resource
+	pending   []*GridJob
+	jobs      map[string]*GridJob
+	stats     Stats
+	nextSeq   int
+	scanning  bool
+}
+
+// New creates a scheduler reading resource state from idx.
+func New(eng *sim.Engine, idx *mds.Index, cfg Config) *Scheduler {
+	s := &Scheduler{
+		eng:       eng,
+		idx:       idx,
+		cfg:       cfg,
+		resources: make(map[string]*resource),
+		jobs:      make(map[string]*GridJob),
+	}
+	if cfg.RescanInterval > 0 {
+		eng.Every(cfg.RescanInterval, s.scanPending)
+	}
+	return s
+}
+
+// SetPredictor installs the runtime-estimation model. Without one the
+// scheduler operates estimate-blind (the system's pre-Section-VI
+// behaviour).
+func (s *Scheduler) SetPredictor(p Predictor) { s.predictor = p }
+
+// Register adds a resource target. The adapter is chosen by the
+// resource's kind; speed is the measured speed relative to the
+// reference computer (use Calibrate to measure it in-band).
+func (s *Scheduler) Register(target lrm.LRM, speed float64) error {
+	if speed <= 0 {
+		return fmt.Errorf("metasched: speed for %s must be positive", target.Name())
+	}
+	kind := target.Info().Kind
+	ad, err := adapter.ForKind(kind)
+	if err != nil {
+		return err
+	}
+	if _, dup := s.resources[target.Name()]; dup {
+		return fmt.Errorf("metasched: resource %s already registered", target.Name())
+	}
+	s.resources[target.Name()] = &resource{lrm: target, adapter: ad, speed: speed}
+	return nil
+}
+
+// SetSpeed updates a resource's measured speed.
+func (s *Scheduler) SetSpeed(name string, speed float64) error {
+	r, ok := s.resources[name]
+	if !ok {
+		return fmt.Errorf("metasched: unknown resource %s", name)
+	}
+	if speed <= 0 {
+		return fmt.Errorf("metasched: speed must be positive")
+	}
+	r.speed = speed
+	return nil
+}
+
+// Speed returns a resource's current speed setting.
+func (s *Scheduler) Speed(name string) (float64, bool) {
+	r, ok := s.resources[name]
+	if !ok {
+		return 0, false
+	}
+	return r.speed, true
+}
+
+// Job returns the tracked record for a job ID.
+func (s *Scheduler) Job(id string) (*GridJob, bool) {
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats returns scheduler accounting.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Pending returns the number of jobs awaiting placement.
+func (s *Scheduler) Pending() int { return len(s.pending) }

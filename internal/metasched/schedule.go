@@ -1,0 +1,415 @@
+package metasched
+
+import (
+	"fmt"
+	"math"
+
+	"lattice/internal/grid/rsl"
+	"lattice/internal/lrm"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// Submit accepts a grid job: the RSL description plus the GARLI
+// specification the runtime model reads. The job is placed immediately
+// when an eligible resource is reporting, otherwise it waits in the
+// pending queue for the next scan.
+func (s *Scheduler) Submit(desc *rsl.JobDescription, spec *workload.JobSpec, onDone func(*GridJob)) (*GridJob, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := s.jobs[desc.JobID]; dup {
+		return nil, fmt.Errorf("metasched: duplicate job ID %s", desc.JobID)
+	}
+	j := &GridJob{
+		Desc:        desc,
+		Spec:        spec,
+		Status:      StatusPending,
+		SubmittedAt: s.eng.Now(),
+		OnDone:      onDone,
+	}
+	// Grid overhead: staging and submission cost attached to every
+	// independent job.
+	j.Desc.Work += s.cfg.PerJobOverheadSeconds * lrm.ReferenceCellsPerSecond
+	if s.predictor != nil && spec != nil {
+		if est, err := s.predictor.Predict(spec); err == nil {
+			j.EstimateRefSeconds = est + s.cfg.PerJobOverheadSeconds
+		}
+	}
+	s.jobs[desc.JobID] = j
+	s.stats.Submitted++
+	if !s.tryPlace(j) {
+		s.pending = append(s.pending, j)
+		s.stats.UnplaceableAt++
+	}
+	return j, nil
+}
+
+// SubmitBatch expands a portal submission into grid jobs, applying
+// replicate bundling for very short jobs: when the estimate is below
+// MinJobSeconds, several replicates are merged into a single job whose
+// search-replicate count is raised, amortizing the per-job overhead
+// ("we can ratchet up the number of search replicates each individual
+// GARLI job will perform"). The supplied work sampler provides each
+// job's true cost. Returns the created jobs.
+func (s *Scheduler) SubmitBatch(sub *workload.Submission, rng *sim.RNG, onDone func(*GridJob)) ([]*GridJob, error) {
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	bundle := 1
+	if s.cfg.BundleTargetSeconds > 0 && s.predictor != nil {
+		if est, err := s.predictor.Predict(&sub.Spec); err == nil && est < s.cfg.MinJobSeconds {
+			perRep := est / float64(sub.Spec.SearchReps)
+			if perRep <= 0 {
+				perRep = est
+			}
+			bundle = int(s.cfg.BundleTargetSeconds / (perRep * float64(sub.Spec.SearchReps)))
+			if bundle < 1 {
+				bundle = 1
+			}
+			if bundle > sub.Replicates {
+				bundle = sub.Replicates
+			}
+		}
+	}
+	var jobs []*GridJob
+	for rep := 0; rep < sub.Replicates; rep += bundle {
+		n := bundle
+		if rep+n > sub.Replicates {
+			n = sub.Replicates - rep
+		}
+		spec := sub.Spec
+		spec.SearchReps = sub.Spec.SearchReps * n
+		spec.Seed = sub.Spec.Seed + int64(rep)
+		s.nextSeq++
+		desc := &rsl.JobDescription{
+			JobID:       fmt.Sprintf("%s-r%04d-%d", sanitizeID(sub.UserEmail), rep, s.nextSeq),
+			Executable:  "garli",
+			Arguments:   []string{"garli.conf"},
+			Count:       1,
+			MaxMemoryMB: spec.MemoryMB(),
+			Platforms:   []lrm.Platform{lrm.LinuxX86, lrm.WindowsX86, lrm.DarwinX86},
+			Work:        spec.SampleWork(rng),
+			// Input: the sequence matrix; output: trees and logs.
+			InputMB:  float64(spec.NumTaxa) * float64(spec.SeqLength) / (1 << 20),
+			OutputMB: 0.5,
+		}
+		if n > 1 {
+			s.stats.Bundled += n - 1
+		}
+		specCopy := spec
+		j, err := s.Submit(desc, &specCopy, onDone)
+		if err != nil {
+			return jobs, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+func sanitizeID(email string) string {
+	out := make([]byte, 0, len(email))
+	for i := 0; i < len(email); i++ {
+		c := email[i]
+		if c == '@' || c == '.' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// scanPending retries placement of queued jobs against one shared MDS
+// snapshot (the snapshot is the expensive part at large backlogs).
+func (s *Scheduler) scanPending() {
+	if s.scanning || len(s.pending) == 0 {
+		return
+	}
+	s.scanning = true
+	defer func() { s.scanning = false }()
+	snap := s.candidates()
+	var still []*GridJob
+	for _, j := range s.pending {
+		if j.Status != StatusPending || !s.place(j, snap) {
+			if j.Status == StatusPending {
+				still = append(still, j)
+			}
+		}
+	}
+	s.pending = still
+}
+
+// candidates pairs the current MDS snapshot with registered resources.
+func (s *Scheduler) candidates() []candidate {
+	var out []candidate
+	for _, e := range s.idx.Snapshot() {
+		if r, ok := s.resources[e.Info.Name]; ok {
+			out = append(out, candidate{res: r, info: e.Info})
+		}
+	}
+	return out
+}
+
+// candidate pairs a reporting resource with its published info.
+type candidate struct {
+	res  *resource
+	info lrm.Info
+}
+
+// eligible applies the paper's matchmaking filters.
+func (s *Scheduler) eligible(j *GridJob, c candidate) bool {
+	d := j.Desc
+	// Backlog cap: keep the grid-level queue in charge of batching
+	// rather than flooding one resource's local queue.
+	factor := s.cfg.MaxBacklogFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	if c.info.TotalCPUs > 0 && float64(c.res.active) >= factor*float64(c.info.TotalCPUs) {
+		return false
+	}
+	if len(d.Platforms) > 0 && !platformsOverlap(d.Platforms, c.info.Platforms) {
+		return false
+	}
+	if d.MaxMemoryMB > c.info.NodeMemoryMB {
+		return false
+	}
+	if d.NeedsMPI && !c.info.MPI {
+		return false
+	}
+	if !softwareSubset(d.Software, c.info.Software) {
+		return false
+	}
+	// Stability gating (PolicyFull): jobs with long speed-scaled
+	// estimates never go to unstable resources. Jobs without
+	// estimates are conservatively allowed (pre-estimate era).
+	if s.cfg.Policy == PolicyFull && !c.info.Stable && j.EstimateRefSeconds > 0 {
+		scaled := sim.Duration(j.EstimateRefSeconds / c.res.speed)
+		if s.cfg.DisableSpeedScaledGate {
+			scaled = sim.Duration(j.EstimateRefSeconds)
+		}
+		if scaled > s.cfg.UnstableMaxEstimate {
+			return false
+		}
+	}
+	return true
+}
+
+// score ranks an eligible resource; higher is better.
+//
+// PolicyNaive spreads by load alone. The speed-aware policies combine
+// the paper's "current load" and "resource speed" criteria as a
+// minimum-completion-time heuristic: expected wait (backlog over the
+// resource's aggregate throughput) plus expected execution time
+// (speed-scaled estimate); the resource with the earliest expected
+// completion wins. The load term takes the larger of the MDS-reported
+// backlog and the scheduler's own in-flight count, so a burst of
+// submissions spreads instead of piling onto one stale snapshot.
+func (s *Scheduler) score(c candidate, j *GridJob) float64 {
+	total := float64(c.info.TotalCPUs)
+	if total == 0 {
+		return math.Inf(-1)
+	}
+	load := float64(c.info.QueuedJobs + c.info.RunningJobs)
+	if my := float64(c.res.active); my > load {
+		load = my
+	}
+	if s.cfg.Policy == PolicyNaive {
+		return (total + 1) / (load + 1)
+	}
+	est := j.EstimateRefSeconds
+	if est <= 0 {
+		est = 3600 // no model: assume an hour-scale job
+	}
+	waitSeconds := load * est / (total * c.res.speed)
+	execSeconds := est / c.res.speed
+	return -(waitSeconds + execSeconds)
+}
+
+// tryPlace attempts to schedule the job now; it reports success.
+func (s *Scheduler) tryPlace(j *GridJob) bool {
+	return s.place(j, s.candidates())
+}
+
+// place schedules j against a prepared candidate set.
+func (s *Scheduler) place(j *GridJob, cands []candidate) bool {
+	var best *candidate
+	var bestScore float64
+	for i := range cands {
+		c := cands[i]
+		if !s.eligible(j, c) {
+			continue
+		}
+		sc := s.score(c, j)
+		if math.IsInf(sc, -1) {
+			continue
+		}
+		if best == nil || sc > bestScore {
+			cc := c
+			best = &cc
+			bestScore = sc
+		}
+	}
+	if best == nil {
+		return false
+	}
+	s.dispatch(j, best)
+	return true
+}
+
+// dispatch hands the job to the chosen resource through its adapter.
+func (s *Scheduler) dispatch(j *GridJob, c *candidate) {
+	d := *j.Desc
+	d.EstimatedRefSeconds = j.EstimateRefSeconds
+	// BOINC deadline: estimate-driven unless a fixed deadline is
+	// configured (or no estimate exists).
+	if c.info.Kind == "boinc" {
+		switch {
+		case s.cfg.FixedBoincDeadline > 0:
+			d.DelayBound = s.cfg.FixedBoincDeadline
+		case j.EstimateRefSeconds > 0:
+			local := j.EstimateRefSeconds / c.res.speed
+			d.DelayBound = sim.Duration(local * s.cfg.BoincDeadlineSlack)
+			if d.DelayBound < 6*sim.Hour {
+				d.DelayBound = 6 * sim.Hour
+			}
+		}
+	}
+	j.Status = StatusRunning
+	j.Resource = c.info.Name
+	j.StartedAt = s.eng.Now()
+	j.Attempts++
+	name := c.info.Name
+	res := c.res
+	submit := func() {
+		if j.Status != StatusRunning || j.Resource != name {
+			return // cancelled or re-routed during staging
+		}
+		err := res.adapter.Submit(res.lrm, &d,
+			func() {
+				// Results stage back before the job counts as done.
+				out := s.stageDelay(d.OutputMB)
+				if out > 0 {
+					s.eng.Schedule(out, func() { s.onJobComplete(j) })
+				} else {
+					s.onJobComplete(j)
+				}
+			},
+			func(reason string) { s.onJobFail(j, name, reason) },
+		)
+		if err != nil {
+			// Local validation rejected it; try elsewhere on next scan.
+			s.release(j)
+			j.Status = StatusPending
+			j.Resource = ""
+			s.pending = append(s.pending, j)
+		}
+	}
+	c.res.active++
+	if in := s.stageDelay(d.InputMB); in > 0 {
+		s.eng.Schedule(in, submit)
+	} else {
+		submit()
+	}
+}
+
+// stageDelay converts a transfer size to a staging duration.
+func (s *Scheduler) stageDelay(mb float64) sim.Duration {
+	if mb <= 0 || s.cfg.StageBandwidthMBps <= 0 {
+		return 0
+	}
+	return sim.Duration(mb / s.cfg.StageBandwidthMBps)
+}
+
+// release drops the in-flight count for the job's resource.
+func (s *Scheduler) release(j *GridJob) {
+	if r, ok := s.resources[j.Resource]; ok && r.active > 0 {
+		r.active--
+	}
+}
+
+func (s *Scheduler) onJobComplete(j *GridJob) {
+	if j.Status != StatusRunning {
+		return
+	}
+	s.release(j)
+	j.Status = StatusCompleted
+	j.CompletedAt = s.eng.Now()
+	s.stats.Completed++
+	if j.OnDone != nil {
+		j.OnDone(j)
+	}
+}
+
+func (s *Scheduler) onJobFail(j *GridJob, resourceName, reason string) {
+	if j.Status != StatusRunning {
+		return
+	}
+	s.release(j)
+	s.stats.Retries++
+	if j.Attempts > s.cfg.RetryLimit {
+		j.Status = StatusFailed
+		j.CompletedAt = s.eng.Now()
+		j.FailReason = reason
+		s.stats.Failed++
+		if j.OnDone != nil {
+			j.OnDone(j)
+		}
+		return
+	}
+	// Back to pending; the periodic scan will find a new home.
+	j.Status = StatusPending
+	j.Resource = ""
+	s.pending = append(s.pending, j)
+}
+
+// Cancel aborts a job wherever it is.
+func (s *Scheduler) Cancel(jobID string) bool {
+	j, ok := s.jobs[jobID]
+	if !ok || j.Status == StatusCompleted || j.Status == StatusFailed {
+		return false
+	}
+	if j.Status == StatusRunning {
+		if r, ok := s.resources[j.Resource]; ok {
+			r.lrm.Cancel(jobID)
+		}
+		s.release(j)
+	}
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	j.Status = StatusFailed
+	j.FailReason = "cancelled by user"
+	j.CompletedAt = s.eng.Now()
+	return true
+}
+
+func platformsOverlap(want, have []lrm.Platform) bool {
+	for _, w := range want {
+		for _, h := range have {
+			if w == h {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func softwareSubset(want, have []string) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if w == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

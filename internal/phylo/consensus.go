@@ -1,0 +1,209 @@
+package phylo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SplitSupport counts how often each bipartition appears in a
+// collection of trees — the core of Felsenstein's bootstrap support
+// assessment ("hundreds or thousands of bootstrap searches which
+// assess confidence in the best tree").
+type SplitSupport struct {
+	Total  int
+	Counts map[Bipartition]int
+}
+
+// NewSplitSupport tallies the bipartitions of trees.
+func NewSplitSupport(trees []*Tree) *SplitSupport {
+	s := &SplitSupport{Total: len(trees), Counts: make(map[Bipartition]int)}
+	for _, t := range trees {
+		for bp := range t.Bipartitions() {
+			s.Counts[bp]++
+		}
+	}
+	return s
+}
+
+// Support returns the fraction of trees containing the split.
+func (s *SplitSupport) Support(bp Bipartition) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Counts[bp]) / float64(s.Total)
+}
+
+// MajorityRuleConsensus builds the majority-rule consensus tree over
+// taxa 0..numTaxa-1 from the tallied splits: every split appearing in
+// more than half the trees is included (they are mutually compatible
+// by the majority property). Node names carry the support percentage.
+func (s *SplitSupport) MajorityRuleConsensus(names []string) (*Tree, error) {
+	numTaxa := len(names)
+	if numTaxa < 3 {
+		return nil, fmt.Errorf("phylo: consensus needs at least 3 taxa")
+	}
+	type split struct {
+		bp    Bipartition
+		taxa  []int
+		count int
+	}
+	var majority []split
+	for bp, c := range s.Counts {
+		if 2*c > s.Total {
+			majority = append(majority, split{bp: bp, taxa: splitTaxa(bp), count: c})
+		}
+	}
+	// Insert large splits first so nesting resolves correctly.
+	sort.Slice(majority, func(i, j int) bool {
+		if len(majority[i].taxa) != len(majority[j].taxa) {
+			return len(majority[i].taxa) > len(majority[j].taxa)
+		}
+		return majority[i].bp < majority[j].bp
+	})
+	t := &Tree{}
+	root := t.newNode()
+	t.Root = root
+	leafOf := make([]*Node, numTaxa)
+	for i := 0; i < numTaxa; i++ {
+		leaf := t.newNode()
+		leaf.Taxon = i
+		leaf.Name = names[i]
+		leaf.Length = 1
+		leaf.Parent = root
+		root.Children = append(root.Children, leaf)
+	}
+	for _, sp := range majority {
+		// Find the current common parent of the split's taxa.
+		members := make(map[*Node]bool)
+		for _, ti := range sp.taxa {
+			members[topAncestorWithin(leafOf[ti], root)] = true
+		}
+		_ = members
+		// Group children of root-side parent: all split taxa must
+		// currently share one parent for the split to be insertable.
+		parent := commonParent(t, sp.taxa, leafOf)
+		if parent == nil {
+			continue // incompatible with an earlier (larger-count) split
+		}
+		group := t.newNode()
+		group.Length = 1
+		pct := 100 * float64(sp.count) / float64(s.Total)
+		group.Name = strconv.Itoa(int(pct + 0.5))
+		inSplit := make(map[int]bool)
+		for _, ti := range sp.taxa {
+			inSplit[ti] = true
+		}
+		var keep, move []*Node
+		for _, c := range parent.Children {
+			if subtreeAllIn(c, inSplit) {
+				move = append(move, c)
+			} else {
+				keep = append(keep, c)
+			}
+		}
+		if len(move) < 2 {
+			continue
+		}
+		for _, m := range move {
+			m.Parent = group
+		}
+		group.Children = move
+		group.Parent = parent
+		parent.Children = append(keep, group)
+	}
+	t.reindex()
+	return t, nil
+}
+
+// splitTaxa decodes the canonical bipartition string back to indices.
+func splitTaxa(bp Bipartition) []int {
+	parts := strings.Split(string(bp), ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// topAncestorWithin walks up from n to the child of root containing it.
+func topAncestorWithin(n *Node, root *Node) *Node {
+	for n != nil && n.Parent != root {
+		n = n.Parent
+	}
+	return n
+}
+
+// commonParent returns the node whose children collectively contain
+// exactly the split's taxa (each child either fully inside or fully
+// outside), or nil if the split is incompatible with the tree built so
+// far. leafOf is lazily populated.
+func commonParent(t *Tree, taxa []int, leafOf []*Node) *Node {
+	if leafOf[taxa[0]] == nil {
+		t.PostOrder(func(n *Node) {
+			if n.IsLeaf() {
+				leafOf[n.Taxon] = n
+			}
+		})
+	}
+	// All taxa in the split must have the same parent chain entry: use
+	// the deepest node that contains all of them and check exact cover.
+	in := make(map[int]bool, len(taxa))
+	for _, x := range taxa {
+		in[x] = true
+	}
+	// Walk from one member up until the subtree covers all taxa.
+	n := leafOf[taxa[0]]
+	for n != nil {
+		if countIn(n, in) == len(taxa) {
+			break
+		}
+		n = n.Parent
+	}
+	if n == nil {
+		return nil
+	}
+	// n covers all; children must each be pure.
+	for _, c := range n.Children {
+		cnt := countIn(c, in)
+		if cnt != 0 && !subtreeAllIn(c, in) {
+			return nil
+		}
+		_ = cnt
+	}
+	return n
+}
+
+func countIn(n *Node, in map[int]bool) int {
+	cnt := 0
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.IsLeaf() && in[m.Taxon] {
+			cnt++
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return cnt
+}
+
+func subtreeAllIn(n *Node, in map[int]bool) bool {
+	ok := true
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.IsLeaf() && !in[m.Taxon] {
+			ok = false
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return ok
+}

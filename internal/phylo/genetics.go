@@ -1,0 +1,199 @@
+package phylo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DataType identifies the character alphabet of an alignment and the
+// state space of the substitution process. It is one of the nine
+// predictor variables of the runtime model (the paper reports it as
+// the second most important, at 72.4% increase in MSE).
+type DataType int
+
+const (
+	// Nucleotide data: 4 states (A, C, G, T).
+	Nucleotide DataType = iota
+	// AminoAcid data: 20 states.
+	AminoAcid
+	// Codon data: 61 sense codons of the standard genetic code
+	// (stop codons excluded). By far the most expensive per site.
+	Codon
+)
+
+// NumStates returns the size of the state space.
+func (d DataType) NumStates() int {
+	switch d {
+	case Nucleotide:
+		return 4
+	case AminoAcid:
+		return 20
+	case Codon:
+		return 61
+	default:
+		panic(fmt.Sprintf("phylo: unknown DataType %d", int(d)))
+	}
+}
+
+func (d DataType) String() string {
+	switch d {
+	case Nucleotide:
+		return "nucleotide"
+	case AminoAcid:
+		return "aminoacid"
+	case Codon:
+		return "codon"
+	default:
+		return fmt.Sprintf("DataType(%d)", int(d))
+	}
+}
+
+// ParseDataType converts a string (as found in GARLI configuration
+// files and the portal form) to a DataType.
+func ParseDataType(s string) (DataType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "nucleotide", "dna", "rna", "nuc":
+		return Nucleotide, nil
+	case "aminoacid", "amino acid", "protein", "aa":
+		return AminoAcid, nil
+	case "codon", "codon-aminoacid":
+		return Codon, nil
+	default:
+		return 0, fmt.Errorf("phylo: unknown data type %q", s)
+	}
+}
+
+const (
+	nucLetters = "ACGT"
+	aaLetters  = "ARNDCQEGHILKMFPSTWYV"
+	bases      = "TCAG"
+)
+
+// standardCode maps codon index (in TCAG order: 16*b1 + 4*b2 + b3) to
+// the encoded amino acid letter, '*' for stop. This is the standard
+// genetic code laid out in the classic TCAG table ordering.
+var standardCode = [64]byte{}
+
+func init() {
+	aaByRow := [...]string{
+		"FFLL", "SSSS", "YY**", "CC*W", // T--
+		"LLLL", "PPPP", "HHQQ", "RRRR", // C--
+		"IIIM", "TTTT", "NNKK", "SSRR", // A--
+		"VVVV", "AAAA", "DDEE", "GGGG", // G--
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 4; j++ {
+			standardCode[i*4+j] = aaByRow[i][j]
+		}
+	}
+}
+
+// senseCodons lists the 61 non-stop codon indices in ascending order;
+// codonState maps a raw 0..63 codon index to its 0..60 state, or -1
+// for stop codons.
+var (
+	senseCodons []int
+	codonState  [64]int
+)
+
+func init() {
+	for i := 0; i < 64; i++ {
+		codonState[i] = -1
+	}
+	for i := 0; i < 64; i++ {
+		if standardCode[i] != '*' {
+			codonState[i] = len(senseCodons)
+			senseCodons = append(senseCodons, i)
+		}
+	}
+	if len(senseCodons) != 61 {
+		panic("phylo: standard genetic code must have 61 sense codons")
+	}
+}
+
+// NumSenseCodons is the number of non-stop codons in the standard code.
+const NumSenseCodons = 61
+
+// CodonString returns the three-letter spelling of sense codon state s.
+func CodonString(s int) string {
+	c := senseCodons[s]
+	return string([]byte{bases[c/16], bases[(c/4)%4], bases[c%4]})
+}
+
+// CodonAminoAcid returns the amino acid letter encoded by sense codon
+// state s under the standard genetic code.
+func CodonAminoAcid(s int) byte { return standardCode[senseCodons[s]] }
+
+// codonNucleotides returns the three nucleotide states (0..3 in TCAG
+// order) of sense codon state s.
+func codonNucleotides(s int) [3]int {
+	c := senseCodons[s]
+	return [3]int{c / 16, (c / 4) % 4, c % 4}
+}
+
+// StateChar returns the display character for state s under data type d.
+func (d DataType) StateChar(s int) string {
+	switch d {
+	case Nucleotide:
+		return string(nucLetters[s])
+	case AminoAcid:
+		return string(aaLetters[s])
+	case Codon:
+		return CodonString(s)
+	default:
+		panic("phylo: unknown data type")
+	}
+}
+
+// encodeNucleotide maps a base character to state 0..3 (A, C, G, T),
+// or -1 for gap/ambiguity (treated as missing data).
+func encodeNucleotide(c byte) int {
+	switch c {
+	case 'A', 'a':
+		return 0
+	case 'C', 'c':
+		return 1
+	case 'G', 'g':
+		return 2
+	case 'T', 't', 'U', 'u':
+		return 3
+	default:
+		return -1
+	}
+}
+
+// encodeAminoAcid maps an amino acid character to state 0..19, or -1
+// for gap/ambiguity.
+func encodeAminoAcid(c byte) int {
+	idx := strings.IndexByte(aaLetters, toUpper(c))
+	return idx
+}
+
+func toUpper(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+// encodeCodon maps a codon triplet to sense-codon state 0..60, or -1
+// for stops, gaps or ambiguity. Nucleotides here are in TCAG order.
+func encodeCodon(a, b, c byte) int {
+	i1 := strings.IndexByte(bases, toUpper(a))
+	i2 := strings.IndexByte(bases, toUpper(b))
+	i3 := strings.IndexByte(bases, toUpper(c))
+	if i1 < 0 || i2 < 0 || i3 < 0 {
+		// Allow U for T.
+		fix := func(x byte) int {
+			if toUpper(x) == 'U' {
+				return 0
+			}
+			return strings.IndexByte(bases, toUpper(x))
+		}
+		i1, i2, i3 = fix(a), fix(b), fix(c)
+		if i1 < 0 || i2 < 0 || i3 < 0 {
+			return -1
+		}
+	}
+	return codonState[i1*16+i2*4+i3]
+}

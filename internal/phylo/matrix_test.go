@@ -1,0 +1,209 @@
+package phylo
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, -1)
+	m.Set(2, 2, 5)
+	vals, vecs, err := jacobiEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[float64]bool{2: true, -1: true, 5: true}
+	for _, v := range vals {
+		found := false
+		for w := range want {
+			if almostEqual(v, w, 1e-10) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected eigenvalue %v", v)
+		}
+	}
+	// Eigenvectors orthonormal.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var dot float64
+			for k := 0; k < 3; k++ {
+				dot += vecs.At(k, i) * vecs.At(k, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(dot, want, 1e-10) {
+				t.Errorf("vec dot(%d,%d) = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	// Random-ish symmetric matrix: A = V L V^T must reproduce A.
+	n := 6
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := math.Sin(float64(i*7+j*3+1)) * 2
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, vecs, err := jacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += vecs.At(i, k) * vals[k] * vecs.At(j, k)
+			}
+			if !almostEqual(s, a.At(i, j), 1e-8) {
+				t.Fatalf("reconstruction (%d,%d) = %v, want %v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransitionMatrixIdentityAtZero(t *testing.T) {
+	m, err := NewGTR([6]float64{1, 2, 1.5, 0.7, 4, 1}, []float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Eigen().TransitionMatrix(0, nil)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(p.At(i, j), want, 1e-9) {
+				t.Errorf("P(0)[%d,%d] = %v, want %v", i, j, p.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestTransitionMatrixRowsSumToOne(t *testing.T) {
+	m, err := NewHKY85(3.5, []float64{0.35, 0.15, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bl := range []float64{0.001, 0.05, 0.3, 1.5, 10} {
+		p := m.Eigen().TransitionMatrix(bl, nil)
+		for i := 0; i < 4; i++ {
+			var row float64
+			for j := 0; j < 4; j++ {
+				v := p.At(i, j)
+				if v < 0 || v > 1 {
+					t.Fatalf("P(%v)[%d,%d] = %v out of [0,1]", bl, i, j, v)
+				}
+				row += v
+			}
+			if !almostEqual(row, 1, 1e-9) {
+				t.Errorf("row %d of P(%v) sums to %v", i, bl, row)
+			}
+		}
+	}
+}
+
+func TestTransitionMatrixChapmanKolmogorov(t *testing.T) {
+	m, err := NewGTR([6]float64{1.2, 3.1, 0.8, 1.1, 4.2, 1}, []float64{0.28, 0.22, 0.24, 0.26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := m.Eigen()
+	s, u := 0.13, 0.41
+	ps := es.TransitionMatrix(s, nil)
+	pu := es.TransitionMatrix(u, nil)
+	psu := es.TransitionMatrix(s+u, nil)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var prod float64
+			for k := 0; k < 4; k++ {
+				prod += ps.At(i, k) * pu.At(k, j)
+			}
+			if !almostEqual(prod, psu.At(i, j), 1e-8) {
+				t.Errorf("C-K violated at (%d,%d): %v vs %v", i, j, prod, psu.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDetailedBalance(t *testing.T) {
+	freqs := []float64{0.4, 0.1, 0.15, 0.35}
+	m, err := NewGTR([6]float64{0.5, 2, 1, 1.3, 3.7, 1}, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Eigen().TransitionMatrix(0.25, nil)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			lhs := m.Freqs[i] * p.At(i, j)
+			rhs := m.Freqs[j] * p.At(j, i)
+			if !almostEqual(lhs, rhs, 1e-9) {
+				t.Errorf("detailed balance violated at (%d,%d): %v vs %v", i, j, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestJC69ClosedForm(t *testing.T) {
+	m, err := NewJC69()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bl := range []float64{0.01, 0.1, 0.5, 2} {
+		p := m.Eigen().TransitionMatrix(bl, nil)
+		same := 0.25 + 0.75*math.Exp(-4*bl/3)
+		diff := 0.25 - 0.25*math.Exp(-4*bl/3)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want := diff
+				if i == j {
+					want = same
+				}
+				if !almostEqual(p.At(i, j), want, 1e-9) {
+					t.Errorf("JC69 P(%v)[%d,%d] = %v, want %v", bl, i, j, p.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestLongBranchReachesStationarity(t *testing.T) {
+	freqs := []float64{0.45, 0.05, 0.25, 0.25}
+	m, err := NewHKY85(2, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Eigen().TransitionMatrix(500, nil)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if !almostEqual(p.At(i, j), m.Freqs[j], 1e-6) {
+				t.Errorf("P(inf)[%d,%d] = %v, want stationary %v", i, j, p.At(i, j), m.Freqs[j])
+			}
+		}
+	}
+}
+
+func TestEigenSystemRejectsBadInput(t *testing.T) {
+	q := NewMatrix(4)
+	if _, err := NewEigenSystem(q, []float64{0.5, 0.5}); err == nil {
+		t.Error("expected error for mismatched frequency vector")
+	}
+	if _, err := NewEigenSystem(q, []float64{0.5, 0.5, 0, 0}); err == nil {
+		t.Error("expected error for zero frequency")
+	}
+}

@@ -1,0 +1,121 @@
+package phylo
+
+import "fmt"
+
+// Evaluator abstracts a tree log-likelihood engine: the single-model
+// Likelihood, the PartitionedLikelihood below, and optimized backends
+// (internal/beagle) all satisfy it, so the GA search runs unchanged on
+// any of them.
+type Evaluator interface {
+	// LogLikelihood evaluates the data on tree t.
+	LogLikelihood(t *Tree) float64
+	// OptimizeBranch refines the branch above n and returns the
+	// achieved log-likelihood.
+	OptimizeBranch(t *Tree, n *Node, iterations int) float64
+	// TotalWork reports the cumulative evaluation cost in cell
+	// updates.
+	TotalWork() float64
+}
+
+// Partition couples one block of sites with its own substitution model
+// and rate mixture — GARLI's partitioned models ("the program is being
+// adapted … allowing more data types, partitioned models"). Typical
+// use: one partition per gene, or per codon position.
+type Partition struct {
+	Name  string
+	Data  *PatternData
+	Model *Model
+	Rates *SiteRates
+}
+
+// PartitionedLikelihood evaluates a tree against several partitions
+// that share the topology and branch lengths; the total log-likelihood
+// is the sum over partitions.
+type PartitionedLikelihood struct {
+	names []string
+	parts []*Likelihood
+}
+
+// NewPartitionedLikelihood builds the joint evaluator. All partitions
+// must cover the same taxa (same count, same row indexing).
+func NewPartitionedLikelihood(parts []Partition) (*PartitionedLikelihood, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("phylo: no partitions")
+	}
+	nt := parts[0].Data.NumTaxa
+	pl := &PartitionedLikelihood{}
+	for i, p := range parts {
+		if p.Data.NumTaxa != nt {
+			return nil, fmt.Errorf("phylo: partition %d has %d taxa; partition 0 has %d", i, p.Data.NumTaxa, nt)
+		}
+		lk, err := NewLikelihood(p.Data, p.Model, p.Rates)
+		if err != nil {
+			return nil, fmt.Errorf("phylo: partition %d (%s): %w", i, p.Name, err)
+		}
+		pl.parts = append(pl.parts, lk)
+		pl.names = append(pl.names, p.Name)
+	}
+	return pl, nil
+}
+
+// NumPartitions returns the number of data blocks.
+func (pl *PartitionedLikelihood) NumPartitions() int { return len(pl.parts) }
+
+// LogLikelihood implements Evaluator: the sum of per-partition
+// log-likelihoods on the shared tree.
+func (pl *PartitionedLikelihood) LogLikelihood(t *Tree) float64 {
+	var sum float64
+	for _, lk := range pl.parts {
+		sum += lk.LogLikelihood(t)
+	}
+	return sum
+}
+
+// PartitionLogLikelihood evaluates a single partition.
+func (pl *PartitionedLikelihood) PartitionLogLikelihood(i int, t *Tree) float64 {
+	return pl.parts[i].LogLikelihood(t)
+}
+
+// OptimizeBranch implements Evaluator.
+func (pl *PartitionedLikelihood) OptimizeBranch(t *Tree, n *Node, iterations int) float64 {
+	return optimizeBranch(pl, t, n, iterations)
+}
+
+// TotalWork implements Evaluator.
+func (pl *PartitionedLikelihood) TotalWork() float64 {
+	var w float64
+	for _, lk := range pl.parts {
+		w += lk.Work
+	}
+	return w
+}
+
+// OptimizeBranchOf runs the shared golden-section branch optimizer on
+// any Evaluator — exported so optimized backends outside this package
+// (internal/beagle) can reuse it.
+func OptimizeBranchOf(ev Evaluator, t *Tree, n *Node, iterations int) float64 {
+	return optimizeBranch(ev, t, n, iterations)
+}
+
+// SplitAlignment cuts an alignment into contiguous blocks by column
+// ranges (half-open, in characters) — the usual way a concatenated
+// multi-gene matrix is partitioned. Each block inherits the
+// alignment's data type.
+func SplitAlignment(a *Alignment, bounds []int) ([]*Alignment, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("phylo: need at least one block (two bounds)")
+	}
+	var out []*Alignment
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo < 0 || hi > a.Length() || lo >= hi {
+			return nil, fmt.Errorf("phylo: invalid block [%d, %d) for alignment of length %d", lo, hi, a.Length())
+		}
+		blk := &Alignment{Type: a.Type, Names: append([]string(nil), a.Names...)}
+		for _, seq := range a.Seqs {
+			blk.Seqs = append(blk.Seqs, seq[lo:hi])
+		}
+		out = append(out, blk)
+	}
+	return out, nil
+}

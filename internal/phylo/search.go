@@ -1,0 +1,402 @@
+package phylo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lattice/internal/sim"
+)
+
+// SearchConfig holds the genetic-algorithm settings of a GARLI-style
+// maximum-likelihood tree search. The fields marked (predictor) are
+// among the nine variables of the paper's runtime model.
+type SearchConfig struct {
+	// SearchReps is the number of independent search replicates; the
+	// best tree across replicates is returned. (predictor)
+	SearchReps int
+	// StartingTree selects random, stepwise-addition, or user
+	// starting trees. (predictor)
+	StartingTree StartingTreeKind
+	// UserTree is the starting tree when StartingTree == StartUser.
+	UserTree *Tree
+	// AttachmentsPerTaxon is the number of candidate attachment
+	// branches evaluated per taxon during stepwise addition; GARLI's
+	// attachmentspertaxon setting. (predictor)
+	AttachmentsPerTaxon int
+	// PopulationSize is the number of individuals in the GA
+	// population (GARLI default 4).
+	PopulationSize int
+	// MaxGenerations bounds each replicate.
+	MaxGenerations int
+	// StagnationGenerations terminates a replicate after this many
+	// generations without an improvement larger than ImprovementEps
+	// (GARLI's genthreshfortopoterm).
+	StagnationGenerations int
+	// ImprovementEps is the log-likelihood gain regarded as a real
+	// improvement (GARLI's scorethreshforterm).
+	ImprovementEps float64
+	// NNIWeight, SPRWeight and BrlenWeight are the relative
+	// probabilities of the three mutation categories.
+	NNIWeight, SPRWeight, BrlenWeight float64
+	// SPRRadius limits regraft distance (GARLI's limsprrange);
+	// 0 = unlimited.
+	SPRRadius int
+	// BrlenOptIterations is the golden-section refinement budget
+	// applied to mutated branches.
+	BrlenOptIterations int
+	// MeanBranchLength seeds starting-tree branch lengths.
+	MeanBranchLength float64
+}
+
+// DefaultSearchConfig mirrors GARLI's stock settings scaled to this
+// engine.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		SearchReps:            1,
+		StartingTree:          StartStepwise,
+		AttachmentsPerTaxon:   25,
+		PopulationSize:        4,
+		MaxGenerations:        500,
+		StagnationGenerations: 60,
+		ImprovementEps:        0.01,
+		NNIWeight:             0.5,
+		SPRWeight:             0.3,
+		BrlenWeight:           0.2,
+		SPRRadius:             6,
+		BrlenOptIterations:    8,
+		MeanBranchLength:      0.05,
+	}
+}
+
+func (c *SearchConfig) validate() error {
+	if c.SearchReps < 1 {
+		return fmt.Errorf("phylo: SearchReps must be >= 1, got %d", c.SearchReps)
+	}
+	if c.PopulationSize < 1 {
+		return fmt.Errorf("phylo: PopulationSize must be >= 1, got %d", c.PopulationSize)
+	}
+	if c.MaxGenerations < 1 {
+		return fmt.Errorf("phylo: MaxGenerations must be >= 1, got %d", c.MaxGenerations)
+	}
+	if c.StartingTree == StartUser && c.UserTree == nil {
+		return fmt.Errorf("phylo: StartUser requires a UserTree")
+	}
+	if c.StartingTree == StartStepwise && c.AttachmentsPerTaxon < 1 {
+		return fmt.Errorf("phylo: AttachmentsPerTaxon must be >= 1 for stepwise addition")
+	}
+	if c.NNIWeight+c.SPRWeight+c.BrlenWeight <= 0 {
+		return fmt.Errorf("phylo: mutation weights must not all be zero")
+	}
+	return nil
+}
+
+// SearchResult reports the outcome of a Search.
+type SearchResult struct {
+	BestTree    *Tree
+	BestLogL    float64
+	Generations int     // total generations across replicates
+	Evaluations int     // likelihood evaluations performed
+	Work        float64 // total cost in cell updates
+	Replicates  []ReplicateResult
+}
+
+// ReplicateResult is the outcome of one search replicate.
+type ReplicateResult struct {
+	Tree        *Tree
+	LogL        float64
+	Generations int
+}
+
+type individual struct {
+	tree *Tree
+	logL float64
+}
+
+// Search runs a GARLI-style genetic-algorithm ML search and returns
+// the best tree found. It is deterministic for a given RNG seed.
+func Search(data *PatternData, model *Model, rates *SiteRates, names []string, cfg SearchConfig, rng *sim.RNG) (*SearchResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(names) != data.NumTaxa {
+		return nil, fmt.Errorf("phylo: %d taxon names for %d-taxon data", len(names), data.NumTaxa)
+	}
+	lk, err := NewLikelihood(data, model, rates)
+	if err != nil {
+		return nil, err
+	}
+	return SearchWith(lk, names, cfg, rng)
+}
+
+// SearchWith runs the GA search on any Evaluator — a plain Likelihood,
+// a PartitionedLikelihood, or an optimized backend.
+func SearchWith(ev Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*SearchResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &SearchResult{BestLogL: negInf}
+	for rep := 0; rep < cfg.SearchReps; rep++ {
+		rr, evals, err := searchReplicate(ev, names, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Replicates = append(res.Replicates, *rr)
+		res.Generations += rr.Generations
+		res.Evaluations += evals
+		if rr.LogL > res.BestLogL {
+			res.BestLogL = rr.LogL
+			res.BestTree = rr.Tree
+		}
+	}
+	res.Work = ev.TotalWork()
+	return res, nil
+}
+
+// SearchPartitioned runs the GA search over several partitions sharing
+// one topology (GARLI's partitioned models).
+func SearchPartitioned(parts []Partition, names []string, cfg SearchConfig, rng *sim.RNG) (*SearchResult, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("phylo: no partitions")
+	}
+	if len(names) != parts[0].Data.NumTaxa {
+		return nil, fmt.Errorf("phylo: %d taxon names for %d-taxon data", len(names), parts[0].Data.NumTaxa)
+	}
+	pl, err := NewPartitionedLikelihood(parts)
+	if err != nil {
+		return nil, err
+	}
+	return SearchWith(pl, names, cfg, rng)
+}
+
+var negInf = math.Inf(-1)
+
+// gaState is the mutable state of one GA search replicate; it is the
+// unit that checkpointing (see Runner in checkpoint.go) snapshots.
+type gaState struct {
+	lk       Evaluator
+	cfg      SearchConfig
+	pop      []individual
+	gen      int
+	stagnant int
+	best     float64
+	evals    int
+}
+
+// newGAState builds the starting population for one replicate.
+func newGAState(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*gaState, error) {
+	start, err := startingTree(lk, names, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	st := &gaState{lk: lk, cfg: cfg}
+	st.pop = make([]individual, cfg.PopulationSize)
+	for i := range st.pop {
+		t := start.Clone()
+		if i > 0 {
+			// Diversify the initial population with a branch jiggle.
+			perturbBranches(t, rng)
+		}
+		l := lk.LogLikelihood(t)
+		st.evals++
+		st.pop[i] = individual{tree: t, logL: l}
+	}
+	sortPop(st.pop)
+	st.best = st.pop[0].logL
+	return st, nil
+}
+
+// done reports whether the replicate has terminated.
+func (st *gaState) done() bool {
+	return st.gen >= st.cfg.MaxGenerations || st.stagnant >= st.cfg.StagnationGenerations
+}
+
+// step runs a single GA generation.
+func (st *gaState) step(rng *sim.RNG) {
+	cfg := st.cfg
+	weights := []float64{cfg.NNIWeight, cfg.SPRWeight, cfg.BrlenWeight}
+	parent := st.pop[selectParent(len(st.pop), rng)]
+	child := parent.tree.Clone()
+	var touched *Node
+	switch rng.Choice(weights) {
+	case 0:
+		touched = child.NNI(rng)
+	case 1:
+		touched = child.SPR(cfg.SPRRadius, rng)
+	default:
+		perturbBranches(child, rng)
+	}
+	var logL float64
+	if cfg.BrlenOptIterations > 0 {
+		// Refine the branch the move disturbed (or a random internal
+		// edge for pure branch-length mutations); each golden-section
+		// step is one likelihood evaluation.
+		target := touched
+		if target == nil || target.Parent == nil {
+			edges := child.InternalEdges()
+			if len(edges) > 0 {
+				target = edges[rng.Intn(len(edges))]
+			} else {
+				target = child.Root.Children[0]
+			}
+		}
+		logL = st.lk.OptimizeBranch(child, target, cfg.BrlenOptIterations)
+		st.evals += cfg.BrlenOptIterations + 8
+	} else {
+		logL = st.lk.LogLikelihood(child)
+		st.evals++
+	}
+	worst := len(st.pop) - 1
+	if logL > st.pop[worst].logL {
+		st.pop[worst] = individual{tree: child, logL: logL}
+		sortPop(st.pop)
+	}
+	if st.pop[0].logL > st.best+cfg.ImprovementEps {
+		st.best = st.pop[0].logL
+		st.stagnant = 0
+	} else {
+		st.stagnant++
+	}
+	st.gen++
+}
+
+func searchReplicate(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*ReplicateResult, int, error) {
+	st, err := newGAState(lk, names, cfg, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	for !st.done() {
+		st.step(rng)
+	}
+	logL := st.finalPolish()
+	return &ReplicateResult{Tree: st.pop[0].tree, LogL: logL, Generations: st.gen}, st.evals, nil
+}
+
+// finalPolish runs GARLI's terminal optimization phase: full
+// branch-length optimization sweeps over the best tree until the gain
+// of a sweep falls below ImprovementEps.
+func (st *gaState) finalPolish() float64 {
+	best := st.pop[0].tree
+	logL := st.pop[0].logL
+	iters := st.cfg.BrlenOptIterations
+	if iters < 6 {
+		iters = 6
+	}
+	for sweep := 0; sweep < 8; sweep++ {
+		before := logL
+		best.PostOrder(func(n *Node) {
+			if n.Parent != nil {
+				logL = st.lk.OptimizeBranch(best, n, iters)
+				st.evals += iters + 8
+			}
+		})
+		if logL-before < st.cfg.ImprovementEps {
+			break
+		}
+	}
+	st.pop[0].logL = logL
+	return logL
+}
+
+// startingTree builds the replicate's initial tree per config.
+func startingTree(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*Tree, error) {
+	switch cfg.StartingTree {
+	case StartRandom:
+		return RandomTree(names, cfg.MeanBranchLength, rng), nil
+	case StartUser:
+		return cfg.UserTree.Clone(), nil
+	case StartStepwise:
+		return stepwiseAdditionTree(lk, names, cfg, rng), nil
+	default:
+		return nil, fmt.Errorf("phylo: unknown starting tree kind %v", cfg.StartingTree)
+	}
+}
+
+// stepwiseAdditionTree grows a tree taxon by taxon; each new taxon is
+// tried on AttachmentsPerTaxon randomly chosen branches (or all, if
+// fewer exist) and kept at the most likely position. The work this
+// burns is exactly why attachmentspertaxon appears among the paper's
+// runtime predictors.
+func stepwiseAdditionTree(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) *Tree {
+	order := rng.Perm(len(names))
+	t := &Tree{}
+	root := t.newNode()
+	t.Root = root
+	for i := 0; i < 3; i++ {
+		leaf := t.newNode()
+		leaf.Taxon = order[i]
+		leaf.Name = names[order[i]]
+		leaf.Length = rng.Exp(cfg.MeanBranchLength)
+		leaf.Parent = root
+		root.Children = append(root.Children, leaf)
+	}
+	t.reindex()
+	// Sub-alignment likelihood for partial trees still uses the full
+	// pattern data: absent taxa simply do not appear in the tree, and
+	// the pruning pass only visits nodes in the tree, so this is
+	// equivalent to marginalizing over them for ranking purposes.
+	for i := 3; i < len(order); i++ {
+		taxon := order[i]
+		var edges []*Node
+		t.PostOrder(func(n *Node) {
+			if n.Parent != nil {
+				edges = append(edges, n)
+			}
+		})
+		tries := cfg.AttachmentsPerTaxon
+		if tries > len(edges) {
+			tries = len(edges)
+		}
+		perm := rng.Perm(len(edges))
+		bestLogL := negInf
+		bestEdge := -1
+		for k := 0; k < tries; k++ {
+			cand := t.Clone()
+			leaf := cand.newNode()
+			leaf.Taxon = taxon
+			leaf.Name = names[taxon]
+			leaf.Length = cfg.MeanBranchLength
+			cand.attachAt(leaf, cand.Nodes[edges[perm[k]].ID], leaf.Length)
+			cand.reindex()
+			l := lk.LogLikelihood(cand)
+			if l > bestLogL {
+				bestLogL = l
+				bestEdge = perm[k]
+			}
+		}
+		leaf := t.newNode()
+		leaf.Taxon = taxon
+		leaf.Name = names[taxon]
+		leaf.Length = cfg.MeanBranchLength
+		t.attachAt(leaf, edges[bestEdge], leaf.Length)
+		t.reindex()
+	}
+	return t
+}
+
+// perturbBranches multiplies every branch length by a log-normal
+// jitter.
+func perturbBranches(t *Tree, rng *sim.RNG) {
+	t.PostOrder(func(n *Node) {
+		if n.Parent != nil {
+			n.Length *= rng.LogNormal(0, 0.2)
+			if n.Length < 1e-8 {
+				n.Length = 1e-8
+			}
+		}
+	})
+}
+
+// selectParent picks a population index with rank-proportional bias
+// toward fitter (lower-index) individuals.
+func selectParent(n int, rng *sim.RNG) int {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(n - i)
+	}
+	return rng.Choice(w)
+}
+
+func sortPop(pop []individual) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].logL > pop[j].logL })
+}

@@ -1,0 +1,78 @@
+// Package portal is the science-portal web interface of Section III:
+// an HTTP front end whose GARLI job-creation form is generated from
+// the grid application's XML description (the paper's Drupal module),
+// with guest and registered-user modes, a validation pre-pass before
+// any job is scheduled, batch status tracking, email notification, and
+// single-zip result download.
+package portal
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"lattice/internal/gsbl"
+)
+
+// formTemplate renders a generated application form.
+var formTemplate = template.Must(template.New("form").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title></head>
+<body>
+<h1>{{.Title}}</h1>
+<p>Create a job — up to 2000 replicates per submission.</p>
+<form method="POST" enctype="multipart/form-data" action="/{{.Name}}/create">
+{{range .Params}}
+  <div class="form-item">
+    <label for="{{.Name}}">{{.Label}}{{if .Required}} *{{end}}</label>
+    {{if eq .Type "choice"}}
+      <select name="{{.Name}}" id="{{.Name}}">
+      {{$def := .Default}}
+      {{range .Options}}<option value="{{.}}"{{if eq . $def}} selected{{end}}>{{.}}</option>{{end}}
+      </select>
+    {{else if eq .Type "file"}}
+      <input type="file" name="{{.Name}}" id="{{.Name}}"/>
+    {{else}}
+      <input type="text" name="{{.Name}}" id="{{.Name}}" value="{{.Default}}"/>
+    {{end}}
+    {{if .Help}}<small>{{.Help}}</small>{{end}}
+  </div>
+{{end}}
+  <input type="submit" value="Create job"/>
+</form>
+</body></html>
+`))
+
+// RenderForm generates the HTML form for an application description —
+// the portal's equivalent of the paper's Drupal form generation.
+func RenderForm(app *gsbl.AppDescription) (string, error) {
+	var b strings.Builder
+	if err := formTemplate.Execute(&b, app); err != nil {
+		return "", fmt.Errorf("portal: rendering form for %s: %w", app.Name, err)
+	}
+	return b.String(), nil
+}
+
+var statusTemplate = template.Must(template.New("status").Parse(`<!DOCTYPE html>
+<html><head><title>Batch {{.ID}}</title></head>
+<body>
+<h1>Batch {{.ID}}</h1>
+<table>
+<tr><td>Total jobs</td><td>{{.Total}}</td></tr>
+<tr><td>Completed</td><td>{{.Completed}}</td></tr>
+<tr><td>Failed</td><td>{{.Failed}}</td></tr>
+<tr><td>Running</td><td>{{.Running}}</td></tr>
+<tr><td>Pending</td><td>{{.Pending}}</td></tr>
+</table>
+{{if .Done}}<p><a href="/batch/{{.ID}}/download">Download results (zip)</a></p>
+{{else}}<p>Jobs are still running; you will be notified by email.</p>{{end}}
+</body></html>
+`))
+
+// renderStatus renders a batch status page.
+func renderStatus(st gsbl.BatchStatus) (string, error) {
+	var b strings.Builder
+	if err := statusTemplate.Execute(&b, st); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

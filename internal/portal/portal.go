@@ -1,0 +1,386 @@
+package portal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lattice/internal/gsbl"
+	"lattice/internal/phylo"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// Portal serves the science-portal HTTP interface over a gsbl.Service.
+// All handlers serialize access to the (single-threaded) simulation
+// through one mutex.
+type Portal struct {
+	mu      sync.Mutex
+	eng     *sim.Engine
+	svc     *gsbl.Service
+	app     *gsbl.AppDescription
+	users   map[string]string // token → email
+	owners  map[string]string // batch ID → email (or guest email)
+	nextTok int
+	// statusFn, when set (see SetStatusSource), backs /grid/status.
+	statusFn func() any
+}
+
+// SetStatusSource installs a provider for the /grid/status endpoint —
+// typically the grid's MDS snapshot plus scheduler statistics.
+func (p *Portal) SetStatusSource(fn func() any) { p.statusFn = fn }
+
+// New builds a portal for the GARLI application.
+func New(eng *sim.Engine, svc *gsbl.Service) *Portal {
+	return &Portal{
+		eng:    eng,
+		svc:    svc,
+		app:    gsbl.GarliApp(),
+		users:  make(map[string]string),
+		owners: make(map[string]string),
+	}
+}
+
+// Handler returns the portal's HTTP mux.
+func (p *Portal) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", p.handleIndex)
+	mux.HandleFunc("/garli/create", p.handleCreate)
+	mux.HandleFunc("/garli/app.xml", p.handleAppXML)
+	mux.HandleFunc("/register", p.handleRegister)
+	mux.HandleFunc("/myjobs", p.handleMyJobs)
+	mux.HandleFunc("/batch/", p.handleBatch)
+	mux.HandleFunc("/grid/status", p.handleGridStatus)
+	return mux
+}
+
+// Pump advances the simulated grid by d — the bridge between HTTP
+// wall-clock and virtual time (cmd/lattice drives this from a ticker;
+// tests call it directly).
+func (p *Portal) Pump(d sim.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.eng.RunUntil(p.eng.Now().Add(d))
+}
+
+func (p *Portal) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, `<html><body><h1>The Lattice Project</h1>
+<p>Available grid services:</p>
+<ul><li><a href="/garli/create">%s</a></li></ul>
+</body></html>`, p.app.Title)
+}
+
+func (p *Portal) handleAppXML(w http.ResponseWriter, r *http.Request) {
+	data, err := p.app.XML()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(data)
+}
+
+// handleRegister creates a registered user and returns an API token.
+func (p *Portal) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	email := r.FormValue("email")
+	if email == "" || !strings.Contains(email, "@") {
+		http.Error(w, "valid email required", http.StatusBadRequest)
+		return
+	}
+	p.mu.Lock()
+	p.nextTok++
+	token := fmt.Sprintf("tok-%06d", p.nextTok)
+	p.users[token] = email
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"token": token, "email": email})
+}
+
+// identify resolves the requester's email: a registered token takes
+// precedence; otherwise guest mode requires an email form value.
+func (p *Portal) identify(r *http.Request) (string, bool) {
+	if tok := r.Header.Get("X-Lattice-Token"); tok != "" {
+		p.mu.Lock()
+		email, ok := p.users[tok]
+		p.mu.Unlock()
+		return email, ok
+	}
+	email := r.FormValue("email")
+	if strings.Contains(email, "@") {
+		return email, true
+	}
+	return "", false
+}
+
+func (p *Portal) handleCreate(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		page, err := RenderForm(p.app)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, page)
+	case http.MethodPost:
+		p.createJob(w, r)
+	default:
+		http.Error(w, "unsupported method", http.StatusMethodNotAllowed)
+	}
+}
+
+// createJob parses the form, validates the upload and parameters, and
+// submits the batch.
+func (p *Portal) createJob(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		http.Error(w, "bad form: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	email, ok := p.identify(r)
+	if !ok {
+		http.Error(w, "guest submissions require an email address", http.StatusBadRequest)
+		return
+	}
+	spec, replicates, bootstrap, err := p.parseSpec(r)
+	if err != nil {
+		http.Error(w, "validation failed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sub := workload.Submission{
+		Spec:       *spec,
+		Replicates: replicates,
+		Bootstrap:  bootstrap,
+		UserEmail:  email,
+	}
+	p.mu.Lock()
+	batch, err := p.svc.SubmitBatch(sub)
+	if err == nil {
+		p.owners[batch.ID] = email
+	}
+	p.mu.Unlock()
+	if err != nil {
+		http.Error(w, "validation failed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"batch":      batch.ID,
+		"jobs":       len(batch.Jobs),
+		"replicates": replicates,
+	})
+}
+
+// parseSpec converts form fields (and the uploaded data file) into a
+// job specification, applying the GARLI validation mode before
+// anything is scheduled.
+func (p *Portal) parseSpec(r *http.Request) (*workload.JobSpec, int, bool, error) {
+	spec := &workload.JobSpec{Seed: 1}
+	dt, err := phylo.ParseDataType(formDefault(r, "datatype", "nucleotide"))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	spec.DataType = dt
+	spec.SubstModel = formDefault(r, "ratematrix", "GTR")
+	het, err := phylo.ParseRateHetKind(formDefault(r, "ratehetmodel", "gamma"))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	spec.RateHet = het
+	if spec.RateHet != phylo.RateHomogeneous {
+		spec.GammaShape = 0.5
+		if spec.RateHet == phylo.RateGammaInv {
+			spec.PropInvariant = 0.2
+		}
+	}
+	intField := func(name string, def int) (int, error) {
+		v := formDefault(r, name, strconv.Itoa(def))
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		return n, nil
+	}
+	if spec.NumRateCats, err = intField("numratecats", 4); err != nil {
+		return nil, 0, false, err
+	}
+	if spec.SearchReps, err = intField("searchreps", 1); err != nil {
+		return nil, 0, false, err
+	}
+	if spec.AttachmentsPerTaxon, err = intField("attachmentspertaxon", 25); err != nil {
+		return nil, 0, false, err
+	}
+	st, err := phylo.ParseStartingTreeKind(formDefault(r, "streefname", "stepwise"))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	spec.StartingTree = st
+	replicates, err := intField("replicates", 1)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	bootstrap := formDefault(r, "bootstrap", "no") == "yes"
+
+	// The uploaded alignment defines the data dimensions; GARLI's
+	// validation mode checks it before scheduling.
+	file, _, err := r.FormFile("datafile")
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("sequence data file required")
+	}
+	defer file.Close()
+	al, err := parseUpload(file, spec.DataType)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if al.Type != spec.DataType {
+		// A NEXUS FORMAT block overrides the form's datatype choice.
+		spec.DataType = al.Type
+	}
+	if err := al.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	spec.NumTaxa = al.NumTaxa()
+	spec.SeqLength = al.Length()
+	if err := spec.Validate(); err != nil {
+		return nil, 0, false, err
+	}
+	return spec, replicates, bootstrap, nil
+}
+
+// parseUpload sniffs the uploaded alignment format: NEXUS documents
+// declare themselves with #NEXUS, everything else is treated as FASTA.
+func parseUpload(r io.Reader, dt phylo.DataType) (*phylo.Alignment, error) {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(6)
+	if strings.EqualFold(string(head), "#NEXUS") {
+		nf, err := phylo.ParseNEXUS(br)
+		if err != nil {
+			return nil, err
+		}
+		if nf.Alignment == nil {
+			return nil, fmt.Errorf("NEXUS file has no data matrix")
+		}
+		return nf.Alignment, nil
+	}
+	return phylo.ParseFASTA(br, dt)
+}
+
+func formDefault(r *http.Request, name, def string) string {
+	if v := r.FormValue(name); v != "" {
+		return v
+	}
+	return def
+}
+
+// handleBatch serves /batch/{id}[/download] with per-user access
+// control for registered users.
+func (p *Portal) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/batch/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := parts[0]
+	p.mu.Lock()
+	owner, known := p.owners[id]
+	p.mu.Unlock()
+	if !known {
+		http.NotFound(w, r)
+		return
+	}
+	// Registered users may only see their own batches; guests may
+	// query any batch ID they hold (capability-style).
+	if tok := r.Header.Get("X-Lattice-Token"); tok != "" {
+		p.mu.Lock()
+		email, ok := p.users[tok]
+		p.mu.Unlock()
+		if !ok || email != owner {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+	}
+	if len(parts) == 2 && parts[1] == "download" {
+		p.mu.Lock()
+		data, err := p.svc.ResultsZip(id)
+		p.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/zip")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.zip", id))
+		w.Write(data)
+		return
+	}
+	p.mu.Lock()
+	st, err := p.svc.Status(id)
+	p.mu.Unlock()
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+		return
+	}
+	page, err := renderStatus(st)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html")
+	io.WriteString(w, page)
+}
+
+// handleGridStatus reports the federation's current state.
+func (p *Portal) handleGridStatus(w http.ResponseWriter, r *http.Request) {
+	if p.statusFn == nil {
+		http.Error(w, "status source not configured", http.StatusNotFound)
+		return
+	}
+	p.mu.Lock()
+	st := p.statusFn()
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// handleMyJobs lists a registered user's batches.
+func (p *Portal) handleMyJobs(w http.ResponseWriter, r *http.Request) {
+	tok := r.Header.Get("X-Lattice-Token")
+	p.mu.Lock()
+	email, ok := p.users[tok]
+	p.mu.Unlock()
+	if !ok {
+		http.Error(w, "registration token required", http.StatusUnauthorized)
+		return
+	}
+	type row struct {
+		Batch  string `json:"batch"`
+		Status gsbl.BatchStatus
+	}
+	var rows []row
+	p.mu.Lock()
+	for id, owner := range p.owners {
+		if owner != email {
+			continue
+		}
+		st, err := p.svc.Status(id)
+		if err == nil {
+			rows = append(rows, row{Batch: id, Status: st})
+		}
+	}
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rows)
+}

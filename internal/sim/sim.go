@@ -1,0 +1,249 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All grid components in this repository (local resource managers, the
+// BOINC server and its volunteer hosts, the meta-scheduler, MDS
+// propagation) advance on a shared virtual clock owned by an Engine.
+// Determinism is a hard requirement: given the same seed and the same
+// sequence of Schedule calls, a simulation produces identical event
+// orderings on every run. Ties in event time are broken by scheduling
+// order, never by map iteration or goroutine interleaving.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, measured in seconds from the start
+// of the simulation. A float64 is used rather than time.Duration so a
+// single run can span simulated decades (the paper's system performed
+// more than 20,000 CPU-years of computation) without overflow.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Common durations, for readable arithmetic at call sites.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 24 * Hour
+	Week   Duration = 7 * Day
+	Year   Duration = 365 * Day
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Hours reports d in hours.
+func (d Duration) Hours() float64 { return float64(d) / float64(Hour) }
+
+// Seconds reports d in seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("t+%.3fs", float64(t))
+}
+
+// Handler is a callback invoked when an event fires. It runs with the
+// engine clock set to the event's time.
+type Handler func()
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at        Time
+	seq       uint64 // tie-break: FIFO among simultaneous events
+	id        EventID
+	fn        Handler
+	cancelled bool
+	index     int // heap index
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the pending-event queue. It is not
+// safe for concurrent use: simulations are single-threaded by design so
+// that runs are reproducible.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	nextID  EventID
+	events  map[EventID]*event
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at time zero and an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{events: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay. A negative delay is
+// treated as zero (the event fires at the current time, after events
+// already scheduled for that time). It returns an ID usable with
+// Cancel.
+func (e *Engine) Schedule(delay Duration, fn Handler) EventID {
+	if delay < 0 || math.IsNaN(float64(delay)) {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute time at. Times in the
+// past are clamped to the current time.
+func (e *Engine) ScheduleAt(at Time, fn Handler) EventID {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil handler")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.nextID++
+	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	e.events[ev.id] = ev
+	return ev.id
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event
+// that already fired, or was already cancelled, is a no-op. It reports
+// whether an event was actually cancelled.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.events[id]
+	if !ok || ev.cancelled {
+		return false
+	}
+	ev.cancelled = true
+	delete(e.events, id)
+	return true
+}
+
+// Stop makes the currently executing Run return after the current
+// handler finishes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step fires the earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		delete(e.events, ev.id)
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events in order until the queue drains or Stop is called.
+// It returns the final clock value.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Time(math.Inf(1)))
+}
+
+// RunUntil fires events in order until the queue drains, Stop is
+// called, or the next event would fire after deadline. The clock is
+// advanced to deadline if the simulation had events left but none
+// before the deadline; otherwise it stays at the last event fired.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped {
+		// Skip cancelled events sitting at the head.
+		for len(e.queue) > 0 && e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 {
+			return e.now
+		}
+		if e.queue[0].at > deadline {
+			if deadline > e.now && !math.IsInf(float64(deadline), 1) {
+				e.now = deadline
+			}
+			return e.now
+		}
+		e.step()
+	}
+	return e.now
+}
+
+// Every schedules fn to run repeatedly with the given period, starting
+// one period from now. fn may call the returned stop function to end
+// the series; Cancel on the returned EventID only cancels the next
+// occurrence. The period must be positive.
+func (e *Engine) Every(period Duration, fn Handler) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	stopped := false
+	var tick Handler
+	var pending EventID
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			pending = e.Schedule(period, tick)
+		}
+	}
+	pending = e.Schedule(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(pending)
+	}
+}

@@ -1,0 +1,203 @@
+// Package lattice is the public API of the Lattice grid computing
+// system — a from-scratch Go reproduction of "Computing the Tree of
+// Life: Leveraging the Power of Desktop and Service Grids" (Bazinet &
+// Cummings, 2011).
+//
+// The system combines service grids (Condor pools and PBS/SGE clusters
+// federated through Globus-style middleware) with a BOINC desktop grid,
+// schedules GARLI maximum-likelihood phylogenetic analyses across the
+// federation, and predicts job runtimes a priori with random forests to
+// drive placement, BOINC deadlines, and replicate bundling.
+//
+// Quick start:
+//
+//	cfg := lattice.DefaultConfig(42)
+//	grid, err := lattice.New(cfg)
+//	if err != nil { ... }
+//	batch, err := grid.SubmitSubmission(lattice.Submission{ ... })
+//	grid.Run(30 * lattice.Day)
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the supported surface:
+//
+//   - grid assembly and operation (internal/core)
+//   - GARLI job specifications and workload generation
+//     (internal/workload)
+//   - runtime estimation with random forests (internal/estimate,
+//     internal/forest)
+//   - the phylogenetic inference engine itself (internal/phylo)
+package lattice
+
+import (
+	"lattice/internal/beagle"
+	"lattice/internal/core"
+	"lattice/internal/estimate"
+	"lattice/internal/forest"
+	"lattice/internal/gsbl"
+	"lattice/internal/metasched"
+	"lattice/internal/phylo"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// Grid assembly and operation.
+type (
+	// Config describes a Lattice deployment (resources, scheduler
+	// policy, estimator bootstrap).
+	Config = core.Config
+	// Lattice is a running grid system.
+	Lattice = core.Lattice
+	// ResourceSpec declares one federation member.
+	ResourceSpec = core.ResourceSpec
+	// Batch tracks one submission through the grid.
+	Batch = gsbl.Batch
+	// BatchStatus summarizes batch progress.
+	BatchStatus = gsbl.BatchStatus
+	// SchedulerConfig is grid-level scheduling policy.
+	SchedulerConfig = metasched.Config
+	// SchedulerPolicy selects naive / speed-aware / full ranking.
+	SchedulerPolicy = metasched.Policy
+)
+
+// New assembles and starts a grid from a configuration.
+func New(cfg Config) (*Lattice, error) { return core.New(cfg) }
+
+// DefaultConfig returns the paper's federation at laptop scale.
+func DefaultConfig(seed int64) Config { return core.DefaultConfig(seed) }
+
+// Scheduler policies.
+const (
+	PolicyNaive      = metasched.PolicyNaive
+	PolicySpeedAware = metasched.PolicySpeedAware
+	PolicyFull       = metasched.PolicyFull
+)
+
+// Workload: GARLI jobs and submissions.
+type (
+	// JobSpec is a GARLI analysis specification; its nine parameters
+	// are the runtime model's predictors.
+	JobSpec = workload.JobSpec
+	// Submission is a portal submission of up to 2000 replicates.
+	Submission = workload.Submission
+	// Generator draws jobs/submissions from the portal's user
+	// population.
+	Generator = workload.Generator
+)
+
+// NewGenerator returns a deterministic workload generator.
+func NewGenerator(seed int64) *Generator { return workload.NewGenerator(seed) }
+
+// MaxReplicates is the portal's per-submission replicate limit.
+const MaxReplicates = workload.MaxReplicates
+
+// Runtime estimation.
+type (
+	// Estimator predicts GARLI runtimes with a random forest and
+	// retrains continuously.
+	Estimator = estimate.Estimator
+	// EstimatorConfig sizes the forest.
+	EstimatorConfig = estimate.Config
+	// ForestConfig configures raw random-forest training.
+	ForestConfig = forest.Config
+	// Dataset is a random-forest design matrix.
+	Dataset = forest.Dataset
+	// Forest is a trained random-forest regression model.
+	Forest = forest.Forest
+)
+
+// NewEstimator returns an estimator with an empty training matrix.
+func NewEstimator(cfg EstimatorConfig) *Estimator { return estimate.New(cfg) }
+
+// BootstrapEstimator seeds and trains an estimator with n generated
+// jobs (the paper's ~150-job matrix).
+func BootstrapEstimator(cfg EstimatorConfig, gen *Generator, n int) (*Estimator, error) {
+	return estimate.Bootstrap(cfg, gen, n)
+}
+
+// TrainForest trains a random forest regression model.
+func TrainForest(ds *Dataset, cfg ForestConfig) (*Forest, error) { return forest.Train(ds, cfg) }
+
+// Phylogenetics: the GARLI-equivalent engine.
+type (
+	// Alignment is a multiple sequence alignment.
+	Alignment = phylo.Alignment
+	// Tree is a phylogenetic tree.
+	Tree = phylo.Tree
+	// Model is a substitution model.
+	Model = phylo.Model
+	// SiteRates is an among-site rate mixture.
+	SiteRates = phylo.SiteRates
+	// SearchConfig controls the genetic-algorithm tree search.
+	SearchConfig = phylo.SearchConfig
+	// SearchResult is a completed search.
+	SearchResult = phylo.SearchResult
+	// DataType is nucleotide / amino acid / codon.
+	DataType = phylo.DataType
+)
+
+// Data types.
+const (
+	Nucleotide = phylo.Nucleotide
+	AminoAcid  = phylo.AminoAcid
+	Codon      = phylo.Codon
+)
+
+// RateHetKind selects among-site rate heterogeneity treatment.
+type RateHetKind = phylo.RateHetKind
+
+// Rate heterogeneity treatments.
+const (
+	RateHomogeneous = phylo.RateHomogeneous
+	RateGamma       = phylo.RateGamma
+	RateGammaInv    = phylo.RateGammaInv
+)
+
+// StartingTreeKind selects how searches build their initial tree.
+type StartingTreeKind = phylo.StartingTreeKind
+
+// Starting tree kinds.
+const (
+	StartRandom   = phylo.StartRandom
+	StartStepwise = phylo.StartStepwise
+	StartUser     = phylo.StartUser
+)
+
+// Phylogenetics: partitioned models and optimized evaluation.
+type (
+	// Evaluator is any tree log-likelihood engine the GA search can
+	// drive.
+	Evaluator = phylo.Evaluator
+	// Partition couples a data block with its own model and rates.
+	Partition = phylo.Partition
+	// PartitionedLikelihood evaluates several partitions on one tree.
+	PartitionedLikelihood = phylo.PartitionedLikelihood
+	// BeagleEngine is the optimized likelihood backend (this
+	// repository's BEAGLE analogue).
+	BeagleEngine = beagle.Engine
+	// NexusFile is a parsed NEXUS document (data matrix + trees).
+	NexusFile = phylo.NexusFile
+)
+
+// NewPartitionedLikelihood builds a joint evaluator over partitions
+// sharing one tree.
+func NewPartitionedLikelihood(parts []Partition) (*PartitionedLikelihood, error) {
+	return phylo.NewPartitionedLikelihood(parts)
+}
+
+// NewBeagleEngine builds the optimized likelihood backend.
+func NewBeagleEngine(data *phylo.PatternData, model *Model, rates *SiteRates) (*BeagleEngine, error) {
+	return beagle.New(data, model, rates)
+}
+
+// Virtual time units for Lattice.Run.
+type Duration = sim.Duration
+
+// Durations.
+const (
+	Second = sim.Second
+	Minute = sim.Minute
+	Hour   = sim.Hour
+	Day    = sim.Day
+	Week   = sim.Week
+	Year   = sim.Year
+)
