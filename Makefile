@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet lint test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# latticelint is the project's own analyzer suite (cmd/latticelint):
+# determinism, errdrop, floatcmp, syncmisuse, deadassign. Exits
+# non-zero on any finding.
+lint:
+	$(GO) run ./cmd/latticelint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full correctness gate: compile, go vet, the project
+# analyzers, and the test suite under the race detector (which
+# includes the forest/BOINC concurrency stress tests).
+check: build vet lint race

@@ -37,22 +37,22 @@ func main() {
 	must(err)
 	var reg struct{ Token, Email string }
 	must(json.NewDecoder(resp.Body).Decode(&reg))
-	resp.Body.Close()
+	must(resp.Body.Close())
 	fmt.Printf("registered %s → token %s\n", reg.Email, reg.Token)
 
 	// The job-creation form is generated from the grid application's
 	// XML description.
 	resp, err = http.Get(srv.URL + "/garli/app.xml")
 	must(err)
-	xmlDesc, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	xmlDesc := must1(io.ReadAll(resp.Body))
+	must(resp.Body.Close())
 	fmt.Printf("application description: %d bytes of XML\n", len(xmlDesc))
 
 	// Prepare a real FASTA upload (simulated data, as a stand-in for
 	// the researcher's sequences).
 	rng := sim.NewRNG(3)
-	m, _ := phylo.NewJC69()
-	rs, _ := phylo.NewSiteRates(phylo.RateHomogeneous, 0, 0, 1)
+	m := must1(phylo.NewJC69())
+	rs := must1(phylo.NewSiteRates(phylo.RateHomogeneous, 0, 0, 1))
 	tr := phylo.RandomTree(phylo.TaxonNames(10), 0.1, rng)
 	al, err := phylo.SimulateAlignment(tr, m, rs, 600, rng)
 	must(err)
@@ -61,21 +61,21 @@ func main() {
 
 	var body bytes.Buffer
 	w := multipart.NewWriter(&body)
-	w.WriteField("datatype", "nucleotide")
-	w.WriteField("ratematrix", "HKY85")
-	w.WriteField("ratehetmodel", "gamma")
-	w.WriteField("replicates", "20")
-	fw, _ := w.CreateFormFile("datafile", "beagle.fasta")
-	io.WriteString(fw, fasta.String())
-	w.Close()
+	must(w.WriteField("datatype", "nucleotide"))
+	must(w.WriteField("ratematrix", "HKY85"))
+	must(w.WriteField("ratehetmodel", "gamma"))
+	must(w.WriteField("replicates", "20"))
+	fw := must1(w.CreateFormFile("datafile", "beagle.fasta"))
+	must1(io.WriteString(fw, fasta.String()))
+	must(w.Close())
 
-	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/garli/create", &body)
+	req := must1(http.NewRequest(http.MethodPost, srv.URL+"/garli/create", &body))
 	req.Header.Set("Content-Type", w.FormDataContentType())
 	req.Header.Set("X-Lattice-Token", reg.Token)
 	resp, err = http.DefaultClient.Do(req)
 	must(err)
-	raw, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	raw := must1(io.ReadAll(resp.Body))
+	must(resp.Body.Close())
 	if resp.StatusCode != http.StatusOK {
 		log.Fatalf("submission rejected: %s", raw)
 	}
@@ -96,7 +96,7 @@ func main() {
 			Done                     bool
 		}
 		must(json.NewDecoder(resp.Body).Decode(&st))
-		resp.Body.Close()
+		must(resp.Body.Close())
 		if st.Done {
 			fmt.Printf("batch done: %d/%d completed\n", st.Completed, st.Total)
 			break
@@ -106,8 +106,8 @@ func main() {
 	// Download and list the results zip.
 	resp, err = http.Get(srv.URL + "/batch/" + created.Batch + "/download")
 	must(err)
-	data, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	data := must1(io.ReadAll(resp.Body))
+	must(resp.Body.Close())
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	must(err)
 	fmt.Printf("downloaded %d-byte zip with %d files:\n", len(data), len(zr.File))
@@ -127,4 +127,11 @@ func must(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// must1 unwraps a (value, error) pair, dying on error — example-grade
+// error handling that still refuses to continue past a failure.
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
 }

@@ -60,7 +60,7 @@ func main() {
 	fmt.Printf("\n60-taxon GTR+Γ analysis, 2 search replicates:\n")
 	fmt.Printf("  predicted: %.2f h on the reference computer (needs %d MB)\n", pred/3600, spec.MemoryMB())
 	for _, speed := range []float64{0.5, 2.0} {
-		p, _ := est.PredictOn(&spec, speed)
+		p := must1(est.PredictOn(&spec, speed))
 		fmt.Printf("  on a speed-%.1f resource: %.2f h\n", speed, p/3600)
 	}
 
@@ -69,7 +69,7 @@ func main() {
 	flat := spec
 	flat.RateHet = lattice.RateHomogeneous
 	flat.GammaShape = 0
-	pFlat, _ := est.Predict(&flat)
+	pFlat := must1(est.Predict(&flat))
 	fmt.Printf("  without rate heterogeneity: %.2f h (×%.1f cheaper)\n", pFlat/3600, pred/pFlat)
 
 	// Continuous retraining: a completed job's observed runtime goes
@@ -83,4 +83,13 @@ func main() {
 	}
 	fmt.Printf("\nretrained: matrix grew %d → %d observations; new model live immediately\n",
 		before, est.NumObservations())
+}
+
+// must1 unwraps a (value, error) pair, dying on error — example-grade
+// error handling that still refuses to continue past a failure.
+func must1[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lk, _ := phylo.NewLikelihood(pd, model, rates)
+	lk := must1(phylo.NewLikelihood(pd, model, rates))
 	fmt.Printf("inferred tree: lnL %.2f (truth tree scores %.2f)\n",
 		res.BestLogL, lk.LogLikelihood(truth))
 	fmt.Printf("Robinson–Foulds distance to truth: %d (0 = identical topology)\n",
@@ -84,13 +84,13 @@ func main() {
 
 	// Partitioned analysis: gene A under the HKY85+Γ model, gene B
 	// under JC69, sharing one tree — GARLI's partitioned models.
-	mB, _ := phylo.NewJC69()
-	rB, _ := phylo.NewSiteRates(phylo.RateHomogeneous, 0, 0, 1)
+	mB := must1(phylo.NewJC69())
+	rB := must1(phylo.NewSiteRates(phylo.RateHomogeneous, 0, 0, 1))
 	geneB, err := phylo.SimulateAlignment(truth, mB, rB, 700, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pdB, _ := geneB.Compile()
+	pdB := must1(geneB.Compile())
 	parts := []phylo.Partition{
 		{Name: "geneA", Data: pd, Model: model, Rates: rates},
 		{Name: "geneB", Data: pdB, Model: mB, Rates: rB},
@@ -130,4 +130,13 @@ func main() {
 	}
 	_, logL := runner.Best()
 	fmt.Printf("resumed search finished: lnL %.2f\n", logL)
+}
+
+// must1 unwraps a (value, error) pair, dying on error — example-grade
+// error handling that still refuses to continue past a failure.
+func must1[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

@@ -59,7 +59,12 @@ func (h *Host) attach(s *Server) {
 	s.eng.Schedule(s.rng.ExpDuration(h.MeanOff), h.turnOn)
 }
 
+// turnOn and turnOff are engine-scheduled entry points: they run on
+// the engine goroutine and take the server lock before touching host
+// or server state.
 func (h *Host) turnOn() {
+	h.srv.mu.Lock()
+	defer h.srv.mu.Unlock()
 	if h.detached {
 		return
 	}
@@ -70,6 +75,8 @@ func (h *Host) turnOn() {
 }
 
 func (h *Host) turnOff() {
+	h.srv.mu.Lock()
+	defer h.srv.mu.Unlock()
 	if h.detached {
 		return
 	}
@@ -120,6 +127,8 @@ func (h *Host) resume() {
 		// Nothing to do: poll the scheduler periodically while on.
 		if h.pollEv == 0 {
 			h.pollEv = h.srv.eng.Schedule(h.srv.cfg.IdlePollInterval, func() {
+				h.srv.mu.Lock()
+				defer h.srv.mu.Unlock()
 				h.pollEv = 0
 				h.maybeFetchWork()
 				h.resume()
@@ -131,13 +140,21 @@ func (h *Host) resume() {
 	h.startedAt = h.srv.eng.Now()
 	dur := sim.Duration(t.remainingWork / (h.Speed * lrm.ReferenceCellsPerSecond))
 	h.doneEv = h.srv.eng.Schedule(dur, func() {
+		h.srv.mu.Lock()
+		defer h.srv.mu.Unlock()
 		h.doneEv = 0
 		h.tasks = h.tasks[1:]
 		h.srv.stats.HostCPUSeconds += t.res.wu.job.Work / lrm.ReferenceCellsPerSecond
 		// Report after the host's usual reporting latency.
 		res := t.res
 		h.srv.eng.Schedule(h.ReportLatency, func() {
-			h.srv.receiveResult(res)
+			srv := h.srv
+			srv.mu.Lock()
+			notify := srv.receiveResult(res)
+			srv.mu.Unlock()
+			if notify != nil {
+				notify()
+			}
 		})
 		h.maybeFetchWork()
 		h.resume()

@@ -2,6 +2,7 @@ package boinc
 
 import (
 	"fmt"
+	"sync"
 
 	"lattice/internal/lrm"
 	"lattice/internal/sim"
@@ -95,9 +96,18 @@ type result struct {
 // grid's scheduler adapter can treat the volunteer pool as one large
 // (unstable) resource.
 type Server struct {
-	eng   *sim.Engine
-	rng   *sim.RNG
-	cfg   Config
+	eng *sim.Engine
+	rng *sim.RNG
+	cfg Config
+
+	// mu guards all server and host state. The engine dispatches host
+	// events on a single goroutine, but lrm.LRM callers (grid
+	// adapters, the meta-scheduler, tests) may submit, cancel and read
+	// statistics from other goroutines while the engine runs; every
+	// engine-scheduled closure and every public method takes the lock
+	// at entry. Job callbacks (OnComplete/OnFail) are invoked after
+	// the lock is released so handlers may re-enter the server.
+	mu    sync.Mutex
 	hosts []*Host
 	// unsent holds workunits with capacity for further issues, FIFO.
 	unsent []*workunit
@@ -123,17 +133,27 @@ func NewServer(eng *sim.Engine, rng *sim.RNG, cfg Config) (*Server, error) {
 }
 
 // AttachHost adds a volunteer host to the project and starts its
-// availability process.
+// availability process. It schedules engine events, so it must be
+// called from the setup phase or the engine goroutine, not
+// concurrently with the engine run.
 func (s *Server) AttachHost(h *Host) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.hosts = append(s.hosts, h)
 	h.attach(s)
 }
 
 // NumHosts returns the number of hosts ever attached.
-func (s *Server) NumHosts() int { return len(s.hosts) }
+func (s *Server) NumHosts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.hosts)
+}
 
 // ActiveHosts returns the number of hosts that have not detached.
 func (s *Server) ActiveHosts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, h := range s.hosts {
 		if !h.detached {
@@ -158,6 +178,8 @@ func (s *Server) Submit(j *lrm.Job) error {
 	if delay <= 0 {
 		delay = s.cfg.DefaultDelayBound
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	wu := &workunit{job: j, delay: delay}
 	s.byJob[j.ID] = wu
 	s.unsent = append(s.unsent, wu)
@@ -167,6 +189,8 @@ func (s *Server) Submit(j *lrm.Job) error {
 
 // Cancel implements lrm.LRM.
 func (s *Server) Cancel(jobID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	wu, ok := s.byJob[jobID]
 	if !ok || wu.done || wu.failed {
 		return false
@@ -280,17 +304,27 @@ func (s *Server) issue(wu *workunit, h *Host) {
 	if len(h.tasks) == 1 {
 		h.resume()
 	}
-	s.eng.ScheduleAt(r.deadline, func() { s.deadlinePassed(r) })
+	s.eng.ScheduleAt(r.deadline, func() {
+		s.mu.Lock()
+		notify := s.deadlinePassed(r)
+		s.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+	})
 }
 
 // deadlinePassed reissues a workunit whose result never came back.
-func (s *Server) deadlinePassed(r *result) {
+// Called with s.mu held; the returned closure (the job's failure
+// callback, if the workunit is out of issues) must be invoked after
+// the lock is released.
+func (s *Server) deadlinePassed(r *result) (notify func()) {
 	if r.timedOut {
-		return
+		return nil
 	}
 	wu := r.wu
 	if wu.done || wu.failed {
-		return
+		return nil
 	}
 	// Still pending?
 	stillPending := false
@@ -301,7 +335,7 @@ func (s *Server) deadlinePassed(r *result) {
 		}
 	}
 	if !stillPending {
-		return
+		return nil
 	}
 	r.timedOut = true
 	s.stats.ResultsTimedOut++
@@ -314,13 +348,15 @@ func (s *Server) deadlinePassed(r *result) {
 		wu.failed = true
 		s.stats.WorkunitsFailed++
 		s.removeUnsent(wu)
-		if wu.job.OnFail != nil {
-			wu.job.OnFail(s.eng.Now(), "boinc: too many errors (may have bug)")
+		if fail := wu.job.OnFail; fail != nil {
+			now := s.eng.Now()
+			return func() { fail(now, "boinc: too many errors (may have bug)") }
 		}
-		return
+		return nil
 	}
 	// Back to the unsent queue for reissue.
 	s.requeue(wu)
+	return nil
 }
 
 func (s *Server) requeue(wu *workunit) {
@@ -358,20 +394,22 @@ func (h *Host) dropTask(r *result) {
 	}
 }
 
-// receiveResult handles a returned result.
-func (s *Server) receiveResult(r *result) {
+// receiveResult handles a returned result. Called with s.mu held; the
+// returned closure (the job's completion callback, if the workunit
+// just validated) must be invoked after the lock is released.
+func (s *Server) receiveResult(r *result) (notify func()) {
 	s.stats.ResultsReturned++
 	wu := r.wu
 	if r.timedOut || wu.done || wu.failed {
 		// Arrived after reissue or completion: wasted computation.
 		s.stats.ResultsLate++
 		s.stats.WastedCPUSeconds += wu.job.Work / lrm.ReferenceCellsPerSecond
-		return
+		return nil
 	}
 	wu.removePending(r)
 	wu.returned++
 	if wu.returned < s.cfg.Quorum {
-		return
+		return nil
 	}
 	wu.done = true
 	s.stats.WorkunitsDone++
@@ -380,14 +418,18 @@ func (s *Server) receiveResult(r *result) {
 		s.stats.WastedCPUSeconds += float64(s.cfg.Quorum-1) * wu.job.Work / lrm.ReferenceCellsPerSecond
 	}
 	s.removeUnsent(wu)
-	if wu.job.OnComplete != nil {
-		wu.job.OnComplete(s.eng.Now())
+	if complete := wu.job.OnComplete; complete != nil {
+		now := s.eng.Now()
+		return func() { complete(now) }
 	}
+	return nil
 }
 
 // Info implements lrm.LRM: the volunteer pool summarized as one
 // resource for MDS.
 func (s *Server) Info() lrm.Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	info := lrm.Info{
 		Name:   s.cfg.Name,
 		Kind:   "boinc",
@@ -424,6 +466,8 @@ func (s *Server) Info() lrm.Info {
 // Stats implements lrm.LRM (extended BOINC statistics are available
 // via ProjectStats).
 func (s *Server) Stats() lrm.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return lrm.Stats{
 		Completed:  s.stats.WorkunitsDone,
 		Failed:     s.stats.WorkunitsFailed,
@@ -433,4 +477,8 @@ func (s *Server) Stats() lrm.Stats {
 }
 
 // ProjectStats returns the full BOINC accounting.
-func (s *Server) ProjectStats() Stats { return s.stats }
+func (s *Server) ProjectStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -107,6 +107,10 @@ type Lattice struct {
 	resources map[string]lrm.LRM
 	refName   string
 	retrains  int
+	// retrainErrs records failures of the continuous-retraining loop
+	// (reference-cluster submits, observation feeds, rebuilds), which
+	// run inside simulation callbacks with no caller to return to.
+	retrainErrs []error
 }
 
 // New assembles and starts a Lattice deployment.
@@ -308,14 +312,33 @@ func (l *Lattice) forkReferenceReplicate(sub workload.Submission) {
 		// also absorbed).
 		obs := float64(at.Sub(start))
 		if err := l.Estimator.AddObservation(&spec, obs); err != nil {
+			l.noteRetrainErr(err)
 			return
 		}
 		// Rebuilding "takes very little time to compute" and the new
 		// model "is immediately available for use with incoming jobs".
-		_ = l.Estimator.Retrain()
+		if err := l.Estimator.Retrain(); err != nil {
+			l.noteRetrainErr(err)
+		}
 	}
-	_ = ref.Submit(j)
+	if err := ref.Submit(j); err != nil {
+		l.noteRetrainErr(err)
+	}
 }
+
+// noteRetrainErr records a continuous-retraining failure, keeping the
+// most recent ones.
+func (l *Lattice) noteRetrainErr(err error) {
+	const keep = 32
+	if len(l.retrainErrs) >= keep {
+		l.retrainErrs = l.retrainErrs[1:]
+	}
+	l.retrainErrs = append(l.retrainErrs, err)
+}
+
+// RetrainErrors returns the recorded continuous-retraining failures
+// (most recent last). An empty slice means the loop is healthy.
+func (l *Lattice) RetrainErrors() []error { return l.retrainErrs }
 
 // Retrains reports how many reference forks have been issued.
 func (l *Lattice) Retrains() int { return l.retrains }

@@ -23,12 +23,12 @@ type Fig2Result struct {
 // paper's size (150 jobs, 10^4 trees in the full configuration) and
 // computes permutation variable importance — experiment E1/E2.
 func Fig2(seed int64, trainJobs, trees int) (*Fig2Result, error) {
-	start := time.Now()
+	start := clock.Now()
 	est, err := estimatorFor(seed, trainJobs, trees)
 	if err != nil {
 		return nil, err
 	}
-	build := time.Since(start)
+	build := clock.Now().Sub(start)
 	imp, err := est.Importance(seed + 1)
 	if err != nil {
 		return nil, err
@@ -153,12 +153,12 @@ type AblationForestSizeResult struct {
 func AblationForestSize(seed int64, trainJobs int) (*AblationForestSizeResult, error) {
 	res := &AblationForestSizeResult{}
 	for _, trees := range []int{100, 1000, 10000} {
-		start := time.Now()
+		start := clock.Now()
 		est, err := estimatorFor(seed, trainJobs, trees)
 		if err != nil {
 			return nil, err
 		}
-		build := time.Since(start)
+		build := clock.Now().Sub(start)
 		st, err := est.Stats()
 		if err != nil {
 			return nil, err

@@ -350,7 +350,9 @@ func CheckpointAlternative(seed int64) (*CheckpointResult, error) {
 		}
 		// Background load: the cluster is half busy.
 		for i := 0; i < 6; i++ {
-			cl.Submit(&lrm.Job{ID: fmt.Sprintf("bg%d", i), Work: 6 * 3600 * lrm.ReferenceCellsPerSecond, MemoryMB: 256})
+			if err := cl.Submit(&lrm.Job{ID: fmt.Sprintf("bg%d", i), Work: 6 * 3600 * lrm.ReferenceCellsPerSecond, MemoryMB: 256}); err != nil {
+				return nil, err
+			}
 		}
 		var doneAt sim.Time
 		j := &lrm.Job{ID: "long", Work: jobRefHours * 3600 * lrm.ReferenceCellsPerSecond, MemoryMB: 256}
@@ -381,6 +383,7 @@ func CheckpointAlternative(seed int64) (*CheckpointResult, error) {
 		remaining := jobRefHours * 3600.0
 		var doneAt sim.Time
 		var overhead float64
+		var submitErr error
 		sliceN := 0
 		var submitSlice func()
 		submitSlice = func() {
@@ -400,10 +403,15 @@ func CheckpointAlternative(seed int64) (*CheckpointResult, error) {
 				}
 				submitSlice()
 			}
-			pool.Submit(j)
+			if err := pool.Submit(j); err != nil {
+				submitErr = err
+			}
 		}
 		submitSlice()
 		eng.RunUntil(sim.Time(60 * sim.Day))
+		if submitErr != nil {
+			return nil, submitErr
+		}
 		res.CyclingLat = doneAt.Sub(0)
 		res.CyclingOverhead = overhead/3600 + pool.Stats().WastedCPU/3600
 		if doneAt == 0 {

@@ -95,6 +95,7 @@ func (d *Dataset) Validate() error {
 		}
 		for j, v := range row {
 			if d.Schema.Kinds[j] == Categorical {
+				//lint:allow floatcmp -- integrality check: a categorical level is valid only if exactly integral
 				if v != float64(int(v)) || v < 0 || v >= maxCategories {
 					return fmt.Errorf("forest: row %d feature %q: categorical value %v must be an integer in [0,%d)", i, d.Schema.Names[j], v, maxCategories)
 				}

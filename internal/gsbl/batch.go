@@ -188,20 +188,26 @@ func (s *Service) ResultsZip(id string) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(w, "# best tree for %s (searchreps=%d) from resource %s\n",
-				name, j.Spec.SearchReps, j.Resource)
+			if _, err := fmt.Fprintf(w, "# best tree for %s (searchreps=%d) from resource %s\n",
+				name, j.Spec.SearchReps, j.Resource); err != nil {
+				return nil, err
+			}
 			lw, err := zw.Create(name + ".screen.log")
 			if err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(lw, "job %s\nresource %s\nattempts %d\nwall_seconds %.0f\n",
-				name, j.Resource, j.Attempts, float64(j.CompletedAt.Sub(j.StartedAt)))
+			if _, err := fmt.Fprintf(lw, "job %s\nresource %s\nattempts %d\nwall_seconds %.0f\n",
+				name, j.Resource, j.Attempts, float64(j.CompletedAt.Sub(j.StartedAt))); err != nil {
+				return nil, err
+			}
 		} else {
 			w, err := zw.Create(name + ".FAILED")
 			if err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(w, "%s\n", j.FailReason)
+			if _, err := fmt.Fprintf(w, "%s\n", j.FailReason); err != nil {
+				return nil, err
+			}
 		}
 	}
 	w, err := zw.Create("batch_summary.txt")

@@ -1,0 +1,241 @@
+// Package lint is latticelint's engine: a stdlib-only static-analysis
+// framework (go/ast, go/parser, go/token, go/types — no external
+// dependencies, offline-buildable) with project-specific analyzers
+// that enforce the determinism and error-handling discipline the
+// paper's reproduction depends on. The grid simulator, forest trainer
+// and meta-scheduler must produce identical output for identical
+// seeds; the analyzers flag the constructs that silently break that
+// property (wall-clock reads, global RNG state, map-iteration-ordered
+// output) along with classic correctness hazards (discarded errors,
+// exact float comparison, copied locks, dead assignments).
+//
+// Findings can be suppressed with an explicit escape hatch:
+//
+//	//lint:allow determinism -- reason why this is safe
+//
+// placed either on the flagged line or alone on the line directly
+// above it. Multiple analyzers may be listed, comma-separated.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// Callee resolves the called function or method of a call expression,
+// seeing through parentheses. It returns nil for calls of builtins,
+// function-typed variables and type conversions.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Scope restricts the analyzer to packages whose import path ends
+	// with one of these suffixes. Empty means every package.
+	Scope []string
+	Run   func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer runs on the package with the
+// given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) || strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		ErrDrop,
+		FloatCmp,
+		SyncMisuse,
+		DeadAssign,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies each analyzer that is in scope for pkg and
+// returns the surviving findings: suppressed findings (see the
+// //lint:allow directive) are dropped, and the rest are sorted by
+// position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+	findings = suppress(pkg, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		return findings[i].Col < findings[j].Col
+	})
+	return findings
+}
+
+// allowDirective is the comment prefix of the escape hatch.
+const allowDirective = "//lint:allow"
+
+// suppress removes findings covered by an allow directive. A
+// directive suppresses the listed analyzers on its own line and, when
+// the comment stands alone on a line, on the directly following line.
+func suppress(pkg *Package, findings []Finding) []Finding {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := map[key]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowDirective)
+				if reason := strings.Index(rest, "--"); reason >= 0 {
+					rest = rest[:reason]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(rest, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					allowed[key{pos.Filename, pos.Line, name}] = true
+					// A comment alone on its line covers the next line.
+					if pos.Column == 1 || startsLine(pkg.Fset, f, c) {
+						allowed[key{pos.Filename, pos.Line + 1, name}] = true
+					}
+				}
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, fd := range findings {
+		if allowed[key{fd.File, fd.Line, fd.Analyzer}] || allowed[key{fd.File, fd.Line, "all"}] {
+			continue
+		}
+		kept = append(kept, fd)
+	}
+	return kept
+}
+
+// startsLine reports whether comment c is the first token on its line
+// (i.e. no code precedes it), by checking every node position in the
+// file is not on the same line before it. A cheap approximation that
+// only needs to distinguish trailing comments from standalone ones:
+// trailing comments follow code, so some declaration token shares
+// their line with a smaller column.
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	sameLineCode := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || sameLineCode {
+			return false
+		}
+		p := fset.Position(n.Pos())
+		if p.Line == cpos.Line && p.Column < cpos.Column {
+			sameLineCode = true
+			return false
+		}
+		return true
+	})
+	return !sameLineCode
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncMisuse flags sync primitives copied by value. A copied Mutex is
+// a different mutex; a copied WaitGroup is a different counter — both
+// compile fine and fail only under contention, exactly the class of
+// bug the race-hardening gate exists to keep out.
+var SyncMisuse = &Analyzer{
+	Name: "syncmisuse",
+	Doc: `flag sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once,
+sync.Cond, sync.Pool and sync.Map (or structs containing them)
+passed, returned, received or assigned by value. Pass pointers
+instead. Use //lint:allow syncmisuse for justified exceptions.`,
+	Run: runSyncMisuse,
+}
+
+func runSyncMisuse(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFieldListByValue(p, n.Recv, "receiver")
+				}
+				checkFuncType(p, n.Type)
+			case *ast.FuncLit:
+				checkFuncType(p, n.Type)
+			case *ast.AssignStmt:
+				checkLockCopyAssign(p, n)
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if copiesLock(p, v) {
+						p.Reportf(v.Pos(), "assignment copies %s by value; use a pointer", lockTypeName(p.TypeOf(v)))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := p.TypeOf(n.Value); containsLock(t) {
+						p.Reportf(n.Value.Pos(), "range value copies %s each iteration; range over indices or pointers", lockTypeName(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncType(p *Pass, ft *ast.FuncType) {
+	checkFieldListByValue(p, ft.Params, "parameter")
+	if ft.Results != nil {
+		checkFieldListByValue(p, ft.Results, "result")
+	}
+}
+
+func checkFieldListByValue(p *Pass, fl *ast.FieldList, what string) {
+	for _, field := range fl.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			p.Reportf(field.Type.Pos(), "%s passes %s by value; use a pointer", what, lockTypeName(t))
+		}
+	}
+}
+
+// checkLockCopyAssign flags assignments whose right-hand side copies
+// an existing lock-containing value. Composite literals and zero
+// values are fine — those create, not copy.
+func checkLockCopyAssign(p *Pass, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		if copiesLock(p, rhs) {
+			p.Reportf(rhs.Pos(), "assignment copies %s by value; use a pointer", lockTypeName(p.TypeOf(rhs)))
+		}
+	}
+}
+
+// copiesLock reports whether evaluating e copies a lock-containing
+// value out of an existing variable (identifier, field, element or
+// dereference — addressable things that already live somewhere).
+func copiesLock(p *Pass, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	return containsLock(p.TypeOf(e))
+}
+
+// syncLockTypes are the sync package types that must not be copied
+// after first use.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether t is, or transitively contains (via
+// struct fields or array elements), a sync type that must not be
+// copied.
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+func lockTypeName(t types.Type) string {
+	if t == nil {
+		return "a sync primitive"
+	}
+	return t.String()
+}

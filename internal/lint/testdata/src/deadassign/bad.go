@@ -1,0 +1,17 @@
+// Fixture: discarded computed locals the deadassign analyzer must
+// flag.
+package deadassign
+
+func Discarded(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	mean := float64(total) / float64(len(xs))
+	_ = mean // want: dead assignment: local "mean" is computed and then discarded
+	return total
+}
+
+func UnusedParam(n int) {
+	_ = n // want: dead assignment: local "n" is computed and then discarded
+}

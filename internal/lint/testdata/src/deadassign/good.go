@@ -1,0 +1,36 @@
+// Fixture: blank assignments the deadassign analyzer must NOT flag.
+package deadassign
+
+import "errors"
+
+type fixtureErr struct{}
+
+func (*fixtureErr) Error() string { return "fixture" }
+
+// Package-level blank declarations are compile-time assertions.
+var _ error = (*fixtureErr)(nil)
+
+// Blanked errors are errdrop's department, not deadassign's.
+func BlankedError() {
+	err := errors.New("boom")
+	_ = err
+}
+
+// Blanking a call result is not a discarded local.
+func BlankCall() {
+	_ = len("four")
+}
+
+// Using the value is the fix.
+func Used(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// An explicitly waived keep-alive, suppressed on the flagged line.
+func KeepAlive(buf []byte) {
+	_ = buf //lint:allow deadassign -- documents that buf must stay reachable here
+}

@@ -1,0 +1,40 @@
+// Fixture: constructs the determinism analyzer must flag. Each
+// flagged line carries a "// want:" comment with a substring of the
+// expected diagnostic.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want: time.Now reads the wall clock
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want: time.Since reads the wall clock
+}
+
+func Jitter() float64 {
+	return rand.Float64() // want: rand.Float64 uses the global math/rand source
+}
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: rand.Shuffle uses the global math/rand source
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want: range over map feeds append
+		out = append(out, k)
+	}
+	return out
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m { // want: range over map feeds fmt.Println
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,43 @@
+// Fixture: deterministic constructs the analyzer must NOT flag.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded local generators are the sanctioned replacement for the
+// global source.
+func SeededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Constructors like time.Date are pure; only wall-clock reads are
+// nondeterministic.
+func Epoch() time.Time {
+	return time.Date(2009, time.November, 10, 23, 0, 0, 0, time.UTC)
+}
+
+// Commutative map-range bodies (sums, counters, max) do not observe
+// iteration order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Collect-then-sort is order-safe end to end; the intermediate append
+// is waived explicitly.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:allow determinism -- keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,27 @@
+// Fixture: discarded errors the errdrop analyzer must flag.
+package errdrop
+
+import (
+	"errors"
+	"strconv"
+)
+
+func Dropped(s string) {
+	strconv.Atoi(s) // want: strconv.Atoi returns an error that is discarded
+}
+
+func Blanked(s string) int {
+	n, _ := strconv.Atoi(s) // want: error result of strconv.Atoi is assigned to the blank identifier
+	return n
+}
+
+func DirectBlank() {
+	err := errors.New("boom")
+	_ = err // want: error value is assigned to the blank identifier
+}
+
+func BlankCall(s string) {
+	_ = work(s) // want: error value is assigned to the blank identifier
+}
+
+func work(string) error { return nil }

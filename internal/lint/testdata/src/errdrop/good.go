@@ -1,0 +1,54 @@
+// Fixture: handled errors and documented-infallible writers the
+// errdrop analyzer must NOT flag.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func Checked(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("errdrop fixture: %w", err)
+	}
+	return n, nil
+}
+
+// strings.Builder, bytes.Buffer and fmt.Fprintf into them are
+// documented never to fail.
+func Render(rows []string) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.WriteString(r)
+		fmt.Fprintf(&sb, " (%d bytes)\n", len(r))
+	}
+	var buf bytes.Buffer
+	buf.WriteString(sb.String())
+	return buf.String()
+}
+
+// Printing to the process's standard streams has no better channel to
+// report its own failure on.
+func Report(msg string) {
+	fmt.Println(msg)
+	fmt.Fprintf(os.Stderr, "warn: %s\n", msg)
+}
+
+// Deferred cleanup calls are not flagged.
+func WithFile(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// An explicitly justified discard, waived on the flagged line.
+func Flush(f *os.File) {
+	f.Sync() //lint:allow errdrop -- best-effort flush on shutdown path
+}

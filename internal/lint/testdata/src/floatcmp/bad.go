@@ -1,0 +1,18 @@
+// Fixture: exact float comparisons the floatcmp analyzer must flag.
+package floatcmp
+
+func Same(a, b float64) bool {
+	return a == b // want: floating-point values compared with ==
+}
+
+func Differ(a, b float64) bool {
+	return a != b // want: floating-point values compared with !=
+}
+
+func AgainstNonZeroConst(x float64) bool {
+	return x == 0.5 // want: floating-point values compared with ==
+}
+
+func Narrow(a, b float32) bool {
+	return a == b // want: floating-point values compared with ==
+}

@@ -1,0 +1,32 @@
+// Fixture: comparisons the floatcmp analyzer must NOT flag.
+package floatcmp
+
+import "math"
+
+// Exact-zero guards are well-defined IEEE behaviour and exempt.
+func Guard(variance float64) float64 {
+	if variance == 0 {
+		return 0
+	}
+	return 1 / variance
+}
+
+// Tolerance comparison is the sanctioned pattern.
+func Near(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// Integer comparison is out of scope.
+func SameInt(a, b int) bool { return a == b }
+
+// Constant folding is exact.
+func ConstCheck() bool {
+	const half = 0.5
+	return half == 0.5
+}
+
+// A justified exact comparison, waived on the line above.
+func IsSentinel(x float64) bool {
+	//lint:allow floatcmp -- sentinel is assigned verbatim, never computed
+	return x == math.MaxFloat64
+}

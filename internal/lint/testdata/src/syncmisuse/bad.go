@@ -1,0 +1,38 @@
+// Fixture: by-value lock copies the syncmisuse analyzer must flag.
+package syncmisuse
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValueParam(c Counter) int { // want: parameter passes
+	return c.n
+}
+
+func (c Counter) Get() int { // want: receiver passes
+	return c.n
+}
+
+func ReturnByValue(c *Counter) Counter { // want: result passes
+	return *c
+}
+
+func CopyAssign(c *Counter) int {
+	snapshot := *c // want: assignment copies
+	return snapshot.n
+}
+
+func RangeCopy(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want: range value copies
+		total += c.n
+	}
+	return total
+}
+
+func WaitByValue(wg sync.WaitGroup) { // want: passes sync.WaitGroup by value
+	wg.Wait()
+}

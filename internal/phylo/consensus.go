@@ -75,12 +75,6 @@ func (s *SplitSupport) MajorityRuleConsensus(names []string) (*Tree, error) {
 		root.Children = append(root.Children, leaf)
 	}
 	for _, sp := range majority {
-		// Find the current common parent of the split's taxa.
-		members := make(map[*Node]bool)
-		for _, ti := range sp.taxa {
-			members[topAncestorWithin(leafOf[ti], root)] = true
-		}
-		_ = members
 		// Group children of root-side parent: all split taxa must
 		// currently share one parent for the split to be insertable.
 		parent := commonParent(t, sp.taxa, leafOf)
@@ -130,14 +124,6 @@ func splitTaxa(bp Bipartition) []int {
 	return out
 }
 
-// topAncestorWithin walks up from n to the child of root containing it.
-func topAncestorWithin(n *Node, root *Node) *Node {
-	for n != nil && n.Parent != root {
-		n = n.Parent
-	}
-	return n
-}
-
 // commonParent returns the node whose children collectively contain
 // exactly the split's taxa (each child either fully inside or fully
 // outside), or nil if the split is incompatible with the tree built so
@@ -169,11 +155,9 @@ func commonParent(t *Tree, taxa []int, leafOf []*Node) *Node {
 	}
 	// n covers all; children must each be pure.
 	for _, c := range n.Children {
-		cnt := countIn(c, in)
-		if cnt != 0 && !subtreeAllIn(c, in) {
+		if cnt := countIn(c, in); cnt != 0 && !subtreeAllIn(c, in) {
 			return nil
 		}
-		_ = cnt
 	}
 	return n
 }

@@ -1,0 +1,42 @@
+package phylo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 1e-9, true},
+		{1.0, 1.0 + 1e-12, 1e-9, true},              // within relative tolerance
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true},      // large magnitudes: relative
+		{1e-15, -1e-15, 1e-9, true},                 // near zero: absolute
+		{1.0, 1.001, 1e-9, false},                   // clearly different
+		{math.NaN(), math.NaN(), 1e-9, false},       // NaN equals nothing
+		{math.NaN(), 1.0, 1e-9, false},              //
+		{math.Inf(1), math.Inf(1), 1e-9, true},      // same infinity
+		{math.Inf(1), math.Inf(-1), 1e-9, false},    // opposite infinities
+		{math.Inf(1), math.MaxFloat64, 1e-9, false}, // infinity vs finite
+	}
+	for i, tc := range cases {
+		if got := AlmostEqual(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("case %d: AlmostEqual(%v, %v, %v) = %v, want %v", i, tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestSameLogL(t *testing.T) {
+	if !SameLogL(-12345.678901234, -12345.678901234) {
+		t.Error("identical log-likelihoods must compare equal")
+	}
+	// Perturbation far below the relative tolerance at this magnitude.
+	if !SameLogL(-12345.678901234, -12345.678901234*(1+1e-13)) {
+		t.Error("sub-tolerance perturbation must compare equal")
+	}
+	if SameLogL(-12345.678, -12345.679) {
+		t.Error("distinct tree scores must not compare equal")
+	}
+}

@@ -74,7 +74,9 @@ func (tz *nexusTokenizer) next() (string, error) {
 						continue
 					}
 					if err == nil {
-						tz.r.UnreadByte()
+						if uerr := tz.r.UnreadByte(); uerr != nil {
+							return "", uerr
+						}
 					}
 					return b.String(), nil
 				}
@@ -92,7 +94,9 @@ func (tz *nexusTokenizer) next() (string, error) {
 					return "", err
 				}
 				if cc == ';' || cc == '=' || cc == '[' || cc == ' ' || cc == '\t' || cc == '\n' || cc == '\r' || cc == '\'' {
-					tz.r.UnreadByte()
+					if uerr := tz.r.UnreadByte(); uerr != nil {
+						return "", uerr
+					}
 					return b.String(), nil
 				}
 				b.WriteByte(cc)
@@ -232,7 +236,9 @@ func parseDataBlock(tz *nexusTokenizer) (*Alignment, error) {
 			}
 			var val string
 			if eq == "=" {
-				tz.next()
+				if _, err := tz.next(); err != nil {
+					return err
+				}
 				val, err = tz.next()
 				if err != nil {
 					return err
@@ -240,9 +246,15 @@ func parseDataBlock(tz *nexusTokenizer) (*Alignment, error) {
 			}
 			switch key {
 			case "NTAX":
-				ntax, _ = strconv.Atoi(val)
+				ntax, err = strconv.Atoi(val)
+				if err != nil || ntax <= 0 {
+					return fmt.Errorf("phylo: malformed NEXUS dimension NTAX=%q", val)
+				}
 			case "NCHAR":
-				nchar, _ = strconv.Atoi(val)
+				nchar, err = strconv.Atoi(val)
+				if err != nil || nchar <= 0 {
+					return fmt.Errorf("phylo: malformed NEXUS dimension NCHAR=%q", val)
+				}
 			case "DATATYPE":
 				switch strings.ToUpper(val) {
 				case "DNA", "RNA", "NUCLEOTIDE":
@@ -407,8 +419,14 @@ func parseTreesBlock(tz *nexusTokenizer, nf *NexusFile) error {
 			if err != nil {
 				return err
 			}
-			if eq, _ := tz.peek(); eq == "=" {
-				tz.next()
+			eq, err := tz.peek()
+			if err != nil {
+				return err
+			}
+			if eq == "=" {
+				if _, err := tz.next(); err != nil {
+					return err
+				}
 			}
 			// The Newick string may have been split on '=' boundaries;
 			// reassemble tokens until ';'.

@@ -189,3 +189,25 @@ END;
 		t.Errorf("taxa = %d", nf.Alignment.NumTaxa())
 	}
 }
+
+// TestParseNEXUSMalformedDimensions pins the dimension parsing fix: a
+// non-numeric or non-positive NTAX/NCHAR must produce a parse error
+// naming the bad dimension, not a silently-zero count.
+func TestParseNEXUSMalformedDimensions(t *testing.T) {
+	cases := []struct{ in, wantSub string }{
+		{"#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=abc NCHAR=4;\nMATRIX\n a ACGT\n;\nEND;\n", "NTAX"},
+		{"#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=0 NCHAR=4;\nMATRIX\n;\nEND;\n", "NTAX"},
+		{"#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=1 NCHAR=4x;\nMATRIX\n a ACGT\n;\nEND;\n", "NCHAR"},
+		{"#NEXUS\nBEGIN DATA;\nDIMENSIONS NTAX=1 NCHAR=-8;\nMATRIX\n a ACGT\n;\nEND;\n", "NCHAR"},
+	}
+	for i, tc := range cases {
+		_, err := ParseNEXUS(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("case %d: expected a parse error for malformed %s", i, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("case %d: error %q does not name dimension %s", i, err, tc.wantSub)
+		}
+	}
+}

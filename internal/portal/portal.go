@@ -29,6 +29,40 @@ type Portal struct {
 	nextTok int
 	// statusFn, when set (see SetStatusSource), backs /grid/status.
 	statusFn func() any
+	// clientErrs counts response bodies that failed to write: the
+	// client disconnected mid-response, which a handler cannot report
+	// anywhere else.
+	clientErrs int
+}
+
+// ClientWriteErrors reports how many response writes failed because
+// the client went away.
+func (p *Portal) ClientWriteErrors() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clientErrs
+}
+
+func (p *Portal) noteClientErr() {
+	p.mu.Lock()
+	p.clientErrs++
+	p.mu.Unlock()
+}
+
+// writeBody writes a response body, recording client disconnects.
+func (p *Portal) writeBody(w io.Writer, data []byte) {
+	if _, err := w.Write(data); err != nil {
+		p.noteClientErr()
+	}
+}
+
+// writeJSON sets the JSON content type and encodes v to w, recording
+// failed writes.
+func (p *Portal) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		p.noteClientErr()
+	}
 }
 
 // SetStatusSource installs a provider for the /grid/status endpoint —
@@ -73,10 +107,10 @@ func (p *Portal) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprintf(w, `<html><body><h1>The Lattice Project</h1>
+	p.writeBody(w, []byte(fmt.Sprintf(`<html><body><h1>The Lattice Project</h1>
 <p>Available grid services:</p>
 <ul><li><a href="/garli/create">%s</a></li></ul>
-</body></html>`, p.app.Title)
+</body></html>`, p.app.Title)))
 }
 
 func (p *Portal) handleAppXML(w http.ResponseWriter, r *http.Request) {
@@ -86,7 +120,7 @@ func (p *Portal) handleAppXML(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml")
-	w.Write(data)
+	p.writeBody(w, data)
 }
 
 // handleRegister creates a registered user and returns an API token.
@@ -105,8 +139,7 @@ func (p *Portal) handleRegister(w http.ResponseWriter, r *http.Request) {
 	token := fmt.Sprintf("tok-%06d", p.nextTok)
 	p.users[token] = email
 	p.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]string{"token": token, "email": email})
+	p.writeJSON(w, map[string]string{"token": token, "email": email})
 }
 
 // identify resolves the requester's email: a registered token takes
@@ -134,7 +167,7 @@ func (p *Portal) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html")
-		io.WriteString(w, page)
+		p.writeBody(w, []byte(page))
 	case http.MethodPost:
 		p.createJob(w, r)
 	default:
@@ -175,8 +208,7 @@ func (p *Portal) createJob(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "validation failed: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	p.writeJSON(w, map[string]any{
 		"batch":      batch.ID,
 		"jobs":       len(batch.Jobs),
 		"replicates": replicates,
@@ -263,7 +295,10 @@ func (p *Portal) parseSpec(r *http.Request) (*workload.JobSpec, int, bool, error
 // declare themselves with #NEXUS, everything else is treated as FASTA.
 func parseUpload(r io.Reader, dt phylo.DataType) (*phylo.Alignment, error) {
 	br := bufio.NewReader(r)
-	head, _ := br.Peek(6)
+	head, err := br.Peek(6)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
 	if strings.EqualFold(string(head), "#NEXUS") {
 		nf, err := phylo.ParseNEXUS(br)
 		if err != nil {
@@ -318,7 +353,7 @@ func (p *Portal) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/zip")
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.zip", id))
-		w.Write(data)
+		p.writeBody(w, data)
 		return
 	}
 	p.mu.Lock()
@@ -329,8 +364,7 @@ func (p *Portal) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("format") == "json" {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(st)
+		p.writeJSON(w, st)
 		return
 	}
 	page, err := renderStatus(st)
@@ -339,7 +373,7 @@ func (p *Portal) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html")
-	io.WriteString(w, page)
+	p.writeBody(w, []byte(page))
 }
 
 // handleGridStatus reports the federation's current state.
@@ -351,8 +385,7 @@ func (p *Portal) handleGridStatus(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
 	st := p.statusFn()
 	p.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(st)
+	p.writeJSON(w, st)
 }
 
 // handleMyJobs lists a registered user's batches.
@@ -381,6 +414,5 @@ func (p *Portal) handleMyJobs(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	p.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(rows)
+	p.writeJSON(w, rows)
 }
