@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check
+# The PR2 engine micro-benchmarks (incremental re-evaluation and
+# parallel population scoring); see EXPERIMENTS.md "Performance".
+BENCH_PATTERN = SearchEval50|Search50|ParallelScore
+
+.PHONY: all build vet lint test race check bench bench-smoke bench-json
 
 all: check
 
@@ -21,6 +25,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench runs the engine micro-benchmarks at measurement quality.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem .
+
+# bench-smoke executes every benchmark body exactly once — a CI gate
+# so benchmark code cannot rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x .
+
+# bench-json regenerates the committed benchmark artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 
 # check is the full correctness gate: compile, go vet, the project
 # analyzers, and the test suite under the race detector (which

@@ -6,8 +6,10 @@
 package lattice_test
 
 import (
+	"fmt"
 	"testing"
 
+	"lattice/internal/beagle"
 	"lattice/internal/estimate"
 	"lattice/internal/experiments"
 	"lattice/internal/forest"
@@ -329,6 +331,173 @@ func BenchmarkForestPredict(b *testing.B) {
 		if _, err := est.Predict(&spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- PR2 engine benchmarks: incremental re-evaluation + parallel scoring ---
+// Regenerate BENCH_PR2.json with:
+//   make bench   (or: go test -run '^$' -bench 'SearchEval50|Search50|ParallelScore' -benchmem | go run ./cmd/benchjson > BENCH_PR2.json)
+
+// bench50 builds a 50-taxon GTR+Γ4 nucleotide fixture for the PR2
+// benchmarks.
+func bench50(b *testing.B, nsites int) (*phylo.PatternData, *phylo.Model, *phylo.SiteRates, *phylo.Tree) {
+	b.Helper()
+	rng := sim.NewRNG(50)
+	m, err := phylo.NewGTR([6]float64{1.1, 3.2, 0.8, 1.3, 4.0, 1}, []float64{0.28, 0.22, 0.26, 0.24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := phylo.NewSiteRates(phylo.RateGamma, 0.6, 0, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := phylo.RandomTree(phylo.TaxonNames(50), 0.08, rng)
+	al, err := phylo.SimulateAlignment(tree, m, rs, nsites, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, err := al.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pd, m, rs, tree
+}
+
+// BenchmarkSearchEval50 measures one likelihood evaluation in the GA's
+// dominant access pattern — a single branch length changed since the
+// previous evaluation — on the seed full-recompute path (reference),
+// the beagle backend with incremental reuse disabled, and the
+// incremental engine. The incremental/full ratio is the PR's headline
+// acceptance number.
+func BenchmarkSearchEval50(b *testing.B) {
+	pd, m, rs, tree := bench50(b, 1000)
+	// A fixed mutation schedule (branch index, jitter factor) shared by
+	// every engine, so all variants evaluate identical tree states.
+	mrng := sim.NewRNG(77)
+	const schedule = 4096
+	idx := make([]int, schedule)
+	factor := make([]float64, schedule)
+	for i := range idx {
+		idx[i] = 1 + mrng.Intn(len(tree.Nodes)-1)
+		factor[i] = mrng.LogNormal(0, 0.2)
+	}
+	run := func(b *testing.B, ev phylo.Evaluator) {
+		tr := tree.Clone()
+		ev.LogLikelihood(tr) // warm buffers and caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := tr.Nodes[idx[i%schedule]]
+			if n.Parent != nil {
+				n.Length *= factor[i%schedule]
+			}
+			ev.LogLikelihood(tr)
+		}
+		b.ReportMetric(ev.TotalWork()/float64(b.N), "cells/op")
+	}
+	b.Run("reference", func(b *testing.B) {
+		lk, err := phylo.NewLikelihood(pd, m, rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, lk)
+	})
+	b.Run("beagle-full", func(b *testing.B) {
+		eng, err := beagle.New(pd, m, rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.SetIncremental(false)
+		run(b, eng)
+	})
+	b.Run("beagle-incremental", func(b *testing.B) {
+		eng, err := beagle.New(pd, m, rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, eng)
+	})
+}
+
+// BenchmarkSearch50 runs a short end-to-end 50-taxon GA search per
+// iteration on each engine configuration — same seed, so the beagle
+// variants follow bit-identical trajectories and the wall-clock and
+// cell-update ratios are exact.
+func BenchmarkSearch50(b *testing.B) {
+	// 300 sites keep a full end-to-end search affordable per benchmark
+	// iteration; engine ratios are pattern-count independent.
+	pd, m, rs, _ := bench50(b, 300)
+	cfg := phylo.DefaultSearchConfig()
+	cfg.MaxGenerations = 40
+	cfg.StagnationGenerations = 40
+	cfg.AttachmentsPerTaxon = 4
+	// Coarse termination keeps the final branch-length polish to one
+	// sweep; the full-resolution run is the perf experiment's job
+	// (gridbench -run perf), not the benchmark's.
+	cfg.ImprovementEps = 2.0
+	names := phylo.TaxonNames(50)
+	run := func(b *testing.B, factory func() (phylo.Evaluator, error)) {
+		var work float64
+		for i := 0; i < b.N; i++ {
+			ev, err := factory()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := phylo.SearchWith(ev, names, cfg, sim.NewRNG(9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			work = res.Work
+		}
+		b.ReportMetric(work, "cells/search")
+	}
+	b.Run("reference", func(b *testing.B) {
+		run(b, func() (phylo.Evaluator, error) { return phylo.NewLikelihood(pd, m, rs) })
+	})
+	b.Run("beagle-full", func(b *testing.B) {
+		run(b, func() (phylo.Evaluator, error) {
+			eng, err := beagle.New(pd, m, rs)
+			if err != nil {
+				return nil, err
+			}
+			eng.SetIncremental(false)
+			return eng, nil
+		})
+	})
+	b.Run("beagle-incremental", func(b *testing.B) {
+		run(b, func() (phylo.Evaluator, error) { return beagle.New(pd, m, rs) })
+	})
+}
+
+// BenchmarkParallelScore measures population scoring through an
+// EvaluatorPool at several worker counts (32 perturbed 50-taxon trees
+// per op). Scores are bit-identical across worker counts; wall-clock
+// scaling tracks available CPUs.
+func BenchmarkParallelScore(b *testing.B) {
+	pd, m, rs, tree := bench50(b, 1000)
+	rng := sim.NewRNG(11)
+	trees := make([]*phylo.Tree, 32)
+	for i := range trees {
+		trees[i] = tree.Clone()
+		trees[i].PostOrder(func(n *phylo.Node) {
+			if n.Parent != nil {
+				n.Length *= rng.LogNormal(0, 0.2)
+			}
+		})
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool, err := phylo.NewEvaluatorPool(workers, func() (phylo.Evaluator, error) {
+				return beagle.New(pd, m, rs)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.ScoreAll(trees)
+			}
+			b.ReportMetric(float64(len(trees)), "trees/op")
+		})
 	}
 }
 

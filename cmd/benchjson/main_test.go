@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: lattice
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSearchEval50/reference         	     100	  10371668 ns/op	   9038848 cells/op	 1024 B/op	       3 allocs/op
+BenchmarkSearchEval50/beagle-incremental	    2000	    539519 ns/op	    503193 cells/op
+--- BENCH: BenchmarkSearch50
+    bench_test.go:1: some log output
+PASS
+ok  	lattice	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "lattice" {
+		t.Errorf("bad metadata: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("bad cpu: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkSearchEval50/reference" || b0.Iterations != 100 {
+		t.Errorf("bad first benchmark: %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 10371668 || b0.Metrics["cells/op"] != 9038848 ||
+		b0.Metrics["B/op"] != 1024 || b0.Metrics["allocs/op"] != 3 {
+		t.Errorf("bad metrics: %+v", b0.Metrics)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Metrics["ns/op"] != 539519 || len(b1.Metrics) != 2 {
+		t.Errorf("bad second metrics: %+v", b1.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok lattice 1s\n")); err == nil {
+		t.Error("expected error for input with no benchmark lines")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"lattice/internal/beagle"
 	"lattice/internal/phylo"
 	"lattice/internal/sim"
 )
@@ -42,6 +43,8 @@ func run() error {
 		attach     = flag.Int("attachmentspertaxon", 25, "stepwise attachment points per taxon")
 		bootstrap  = flag.Int("bootstrap", 0, "bootstrap replicates (0 = best-tree search only)")
 		gens       = flag.Int("generations", 500, "maximum GA generations per replicate")
+		engine     = flag.String("engine", "beagle", "likelihood engine: reference or beagle (incremental)")
+		workers    = flag.Int("workers", 1, "parallel evaluation workers (engines); results are seed-deterministic for any count")
 		seed       = flag.Int64("seed", 1, "random seed")
 		out        = flag.String("out", "garli", "output file prefix")
 	)
@@ -134,13 +137,34 @@ func run() error {
 		cfg.UserTree = tr
 	}
 
-	rng := sim.NewRNG(*seed)
-	res, err := phylo.Search(pd, subst, rates, al.Names, cfg, rng.Stream("search"))
-	if err != nil {
-		return err
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
 	}
-	fmt.Printf("best tree: lnL = %.4f (%d generations, %d evaluations, %.3g cell updates)\n",
-		res.BestLogL, res.Generations, res.Evaluations, res.Work)
+	rng := sim.NewRNG(*seed)
+	var res *phylo.SearchResult
+	if *workers > 1 {
+		pool, err := phylo.NewEvaluatorPool(*workers, func() (phylo.Evaluator, error) {
+			return engineFor(*engine, pd, subst, rates)
+		})
+		if err != nil {
+			return err
+		}
+		res, err = phylo.SearchParallel(pool, al.Names, cfg, rng.Stream("search"))
+		if err != nil {
+			return err
+		}
+	} else {
+		ev, err := engineFor(*engine, pd, subst, rates)
+		if err != nil {
+			return err
+		}
+		res, err = phylo.SearchWith(ev, al.Names, cfg, rng.Stream("search"))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("best tree: lnL = %.4f (%d generations, %d evaluations, %.3g cell updates, engine=%s, workers=%d)\n",
+		res.BestLogL, res.Generations, res.Evaluations, res.Work, strings.ToLower(*engine), *workers)
 	if err := writeFile(*out+".best.tre", res.BestTree.Newick()+"\n"); err != nil {
 		return err
 	}
@@ -150,7 +174,13 @@ func run() error {
 		var trees []*phylo.Tree
 		for i := 0; i < *bootstrap; i++ {
 			bs := pd.Bootstrap(rng.Float64)
-			r, err := phylo.Search(bs, subst, rates, al.Names, cfg, rng.Stream(fmt.Sprintf("bs%d", i)))
+			// Each bootstrap replicate resamples the data, so it gets
+			// its own engine over the resampled patterns.
+			bev, err := engineFor(*engine, bs, subst, rates)
+			if err != nil {
+				return err
+			}
+			r, err := phylo.SearchWith(bev, al.Names, cfg, rng.Stream(fmt.Sprintf("bs%d", i)))
 			if err != nil {
 				return err
 			}
@@ -171,6 +201,20 @@ func run() error {
 	}
 	fmt.Printf("results written with prefix %s\n", *out)
 	return nil
+}
+
+// engineFor builds the selected likelihood engine over the data: the
+// reference full-recompute implementation, or the optimized beagle
+// backend with incremental re-evaluation.
+func engineFor(name string, pd *phylo.PatternData, m *phylo.Model, r *phylo.SiteRates) (phylo.Evaluator, error) {
+	switch strings.ToLower(name) {
+	case "reference":
+		return phylo.NewLikelihood(pd, m, r)
+	case "beagle":
+		return beagle.New(pd, m, r)
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want reference or beagle)", name)
+	}
 }
 
 func buildModel(dt phylo.DataType, name string) (*phylo.Model, error) {

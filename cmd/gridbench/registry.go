@@ -41,6 +41,8 @@ var registry = []experiment{
 		func(s int64) (fmt.Stringer, error) { return experiments.ContinuousRetraining(s) }},
 	{"e14", "E14 — estimate gating vs checkpoint cycling",
 		func(s int64) (fmt.Stringer, error) { return experiments.CheckpointAlternative(s) }},
+	{"perf", "Engine performance — incremental re-evaluation and parallel scoring",
+		func(s int64) (fmt.Stringer, error) { return experiments.EnginePerf(s, 20, 300, 80) }},
 	{"abl-mtry", "Ablation — covariate subsampling (mtry)",
 		func(s int64) (fmt.Stringer, error) { return experiments.AblationMtry(s, 150) }},
 	{"abl-size", "Ablation — forest size",

@@ -104,18 +104,43 @@ func main() {
 	fmt.Printf("partitioned (2-gene) search: joint lnL %.2f, RF to truth %d\n",
 		pres.BestLogL, pres.BestTree.RFDistance(truth))
 
-	// The optimized BEAGLE-style backend drives the same search.
+	// The optimized BEAGLE-style backend drives the same search. One
+	// engine serves all replicates — buffers, the transition-matrix
+	// cache, and incrementally cached partials persist across them
+	// instead of being reallocated per replicate.
 	eng, err := beagle.New(pd, model, rates)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bres, err := phylo.SearchWith(eng, al.Names, pcfg, rng.Stream("beagle"))
+	bcfg := cfg // SearchReps = 2: the second replicate reuses the warm engine
+	bres, err := phylo.SearchWith(eng, al.Names, bcfg, rng.Stream("beagle"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("optimized-backend search: lnL %.2f (%d evaluations, %.0f%% transition-cache hits)\n",
-		bres.BestLogL, eng.Evaluations,
-		100*float64(eng.CacheHits)/float64(eng.CacheHits+eng.CacheMisses))
+	st := eng.Stats()
+	fmt.Printf("optimized-backend search (%d replicates, one engine): lnL %.2f\n",
+		bcfg.SearchReps, bres.BestLogL)
+	fmt.Printf("  %d evaluations, %.3g cell updates\n", st.Evaluations, st.Work)
+	fmt.Printf("  partials: %d computed, %d reused incrementally (%.0f%% of pruning skipped)\n",
+		st.PartialsComputed, st.PartialsReused, 100*st.ReuseFraction())
+	fmt.Printf("  transition cache: %.0f%% hits (%d entries resident, %d evictions)\n",
+		100*st.CacheHitRate(), st.CacheSize, st.CacheEvictions)
+
+	// The same search fanned out over a pool of engines: bit-identical
+	// to a 1-worker run of SearchParallel for the same seed, whatever
+	// the worker count.
+	pool, err := phylo.NewEvaluatorPool(3, func() (phylo.Evaluator, error) {
+		return beagle.New(pd, model, rates)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pres2, err := phylo.SearchParallel(pool, al.Names, bcfg, rng.Stream("pool"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel search (%d workers): lnL %.2f, %.3g cell updates\n",
+		pool.Workers(), pres2.BestLogL, pres2.Work)
 
 	// Checkpointing: run a resumable search in two halves, as the
 	// BOINC build of GARLI does on volunteer machines.

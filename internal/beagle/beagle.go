@@ -7,16 +7,22 @@
 // exchangeable with the reference implementation in internal/phylo:
 //
 //   - flat structure-of-arrays buffers allocated once per tree shape,
-//   - transition-matrix caching keyed by (category, branch length), so
+//   - an LRU transition-matrix cache keyed by branch length, so
 //     repeated evaluations of the same tree (the GA's dominant access
 //     pattern) skip the matrix exponentials entirely,
+//   - incremental re-evaluation: per-node conditional likelihoods are
+//     cached together with the exact subtree structure they were
+//     computed from, so a mutation (NNI, SPR, branch-length change)
+//     only recomputes the partials on the path from the mutated edge
+//     to the root — the classic GARLI optimization,
 //   - a hand-unrolled 4-state kernel for nucleotide models (the
 //     overwhelmingly common case) with slice-bound hoisting,
 //   - rescaling applied per node only when magnitudes demand it.
 //
-// Correctness is pinned to the reference implementation by
-// property tests: both engines must agree to ~1e-9 on random trees,
-// models and rate mixtures.
+// Correctness is pinned to the reference implementation by property
+// tests: both engines must agree to ~1e-9 on random trees, models and
+// rate mixtures, and incremental evaluation must be bit-identical to
+// full recomputation over long random mutation sequences.
 package beagle
 
 import (
@@ -27,7 +33,8 @@ import (
 )
 
 // Engine evaluates tree log-likelihoods. It is not safe for concurrent
-// use; create one engine per goroutine.
+// use; create one engine per goroutine (phylo.EvaluatorPool does
+// exactly that for parallel population scoring).
 type Engine struct {
 	data  *phylo.PatternData
 	model *phylo.Model
@@ -42,26 +49,90 @@ type Engine struct {
 	partials [][]float64
 	scales   [][]float64
 
-	// pmatCache maps a branch length to its per-category transition
-	// matrices, flattened. The GA mutates one branch per generation,
-	// so almost every edge of an evaluated tree has been seen before.
-	pmatCache map[float64][]float64
-	// cacheCap bounds the cache (branch lengths are continuous; the
-	// optimizer probes new values constantly).
-	cacheCap int
+	// pmats is the bounded LRU transition-matrix cache keyed by branch
+	// length. The GA mutates one branch per generation, so almost
+	// every edge of an evaluated tree has been seen before.
+	pmats *pmatCache
 
-	// Evaluations counts LogLikelihood calls; CacheHits counts edges
-	// served from the transition cache.
-	Evaluations int
-	CacheHits   int
-	CacheMisses int
+	// Incremental re-evaluation state. nodes[id] records the exact
+	// subtree structure (leaf taxon, ordered child IDs, child branch
+	// lengths) whose conditional likelihoods partials[id] currently
+	// holds. A node is recomputed only when that record no longer
+	// matches the tree being evaluated or a descendant was recomputed
+	// this pass — so a single branch-length change re-runs the pruning
+	// kernel only on the path from the mutated edge to the root.
+	//
+	// Soundness: validity is detected structurally, not by mutation
+	// hooks, so callers may freely mutate Node.Length in place (as the
+	// branch optimizer does). The induction that "record matches ⇒
+	// buffer holds the right partial" requires every recorded node to
+	// be re-checked on every evaluation; trees of a different node
+	// count would leave unvisited stale records behind, so a size
+	// change invalidates wholesale (see LogLikelihood).
+	incremental bool
+	nodes       []nodeRecord
+	touched     []bool
+	lastNodes   int
+
+	// Evaluations counts LogLikelihood calls; CacheHits / CacheMisses
+	// count transition-matrix lookups. PartialsComputed and
+	// PartialsReused count per-node pruning passes executed vs skipped
+	// by incremental re-evaluation.
+	Evaluations      int
+	CacheHits        int
+	CacheMisses      int
+	PartialsComputed int
+	PartialsReused   int
 	// work accumulates evaluation cost in cell updates (the same unit
-	// as phylo.Likelihood.Work).
+	// as phylo.Likelihood.Work). Every increment is an integer-valued
+	// float64, so sums and differences are exact and parallel runs can
+	// report bit-identical totals regardless of scheduling.
 	work float64
 }
 
-// Engine implements phylo.Evaluator.
-var _ phylo.Evaluator = (*Engine)(nil)
+// Engine implements phylo.Evaluator and the incremental extension.
+var (
+	_ phylo.Evaluator            = (*Engine)(nil)
+	_ phylo.IncrementalEvaluator = (*Engine)(nil)
+)
+
+// nodeRecord is the structural signature of the subtree whose partial
+// a buffer slot holds: the leaf taxon, and the ordered child IDs and
+// child branch lengths (child order matters — it fixes the floating-
+// point accumulation order, which keeps reuse bit-identical to
+// recomputation).
+type nodeRecord struct {
+	valid     bool
+	taxon     int
+	childIDs  []int
+	childLens []float64
+}
+
+// matches reports whether the record describes node n's current
+// neighborhood exactly.
+func (r *nodeRecord) matches(n *phylo.Node) bool {
+	if !r.valid || r.taxon != n.Taxon || len(r.childIDs) != len(n.Children) {
+		return false
+	}
+	for i, c := range n.Children {
+		if r.childIDs[i] != c.ID || r.childLens[i] != c.Length {
+			return false
+		}
+	}
+	return true
+}
+
+// record snapshots node n's current neighborhood.
+func (r *nodeRecord) record(n *phylo.Node) {
+	r.valid = true
+	r.taxon = n.Taxon
+	r.childIDs = r.childIDs[:0]
+	r.childLens = r.childLens[:0]
+	for _, c := range n.Children {
+		r.childIDs = append(r.childIDs, c.ID)
+		r.childLens = append(r.childLens, c.Length)
+	}
+}
 
 // New builds an engine for the given data, model and rate mixture.
 func New(data *phylo.PatternData, model *phylo.Model, rates *phylo.SiteRates) (*Engine, error) {
@@ -76,21 +147,119 @@ func New(data *phylo.PatternData, model *phylo.Model, rates *phylo.SiteRates) (*
 		}
 	}
 	return &Engine{
-		data:      data,
-		model:     model,
-		rates:     rates,
-		nStates:   model.Type.NumStates(),
-		nCats:     rates.NumCats(),
-		nPat:      data.NumPatterns(),
-		pmatCache: make(map[float64][]float64),
-		cacheCap:  4096,
+		data:        data,
+		model:       model,
+		rates:       rates,
+		nStates:     model.Type.NumStates(),
+		nCats:       rates.NumCats(),
+		nPat:        data.NumPatterns(),
+		pmats:       newPmatCache(4096),
+		incremental: true,
 	}, nil
+}
+
+// SetModel swaps the substitution model and rate mixture. Every cached
+// transition matrix is an exponential of the old rate matrix and every
+// cached partial was propagated through them, so both caches are
+// explicitly invalidated; buffers resize lazily on the next evaluation
+// if the category count changed.
+func (e *Engine) SetModel(model *phylo.Model, rates *phylo.SiteRates) error {
+	if model == nil {
+		return fmt.Errorf("beagle: nil model")
+	}
+	if e.data.Type != model.Type {
+		return fmt.Errorf("beagle: data type %v does not match model type %v", e.data.Type, model.Type)
+	}
+	if rates == nil {
+		var err error
+		rates, err = phylo.NewSiteRates(phylo.RateHomogeneous, 0, 0, 1)
+		if err != nil {
+			return err
+		}
+	}
+	e.model = model
+	e.rates = rates
+	e.nCats = rates.NumCats()
+	e.pmats.reset()
+	e.InvalidateAll()
+	return nil
+}
+
+// SetIncremental toggles incremental re-evaluation (on by default).
+// Disabling it forces a full pruning pass per evaluation — useful for
+// benchmarking the incremental gain in isolation. Toggling invalidates
+// all cached partials so stale records can never be consulted later.
+func (e *Engine) SetIncremental(on bool) {
+	if e.incremental == on {
+		return
+	}
+	e.incremental = on
+	e.InvalidateAll()
+}
+
+// SetCacheCap re-bounds the transition-matrix cache.
+func (e *Engine) SetCacheCap(n int) { e.pmats.setCap(n) }
+
+// InvalidateAll implements phylo.IncrementalEvaluator: it drops every
+// cached per-node conditional likelihood, forcing the next evaluation
+// to recompute the whole tree. Transition matrices stay cached — they
+// depend only on the model and branch lengths, not on tree content.
+func (e *Engine) InvalidateAll() {
+	for i := range e.nodes {
+		e.nodes[i].valid = false
+	}
+}
+
+// Stats is a snapshot of the engine's evaluation counters.
+type Stats struct {
+	Evaluations      int
+	PartialsComputed int
+	PartialsReused   int
+	CacheHits        int
+	CacheMisses      int
+	CacheEvictions   int
+	CacheSize        int
+	Work             float64
+}
+
+// Stats returns the engine's current counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Evaluations:      e.Evaluations,
+		PartialsComputed: e.PartialsComputed,
+		PartialsReused:   e.PartialsReused,
+		CacheHits:        e.CacheHits,
+		CacheMisses:      e.CacheMisses,
+		CacheEvictions:   e.pmats.evictions,
+		CacheSize:        e.pmats.size(),
+		Work:             e.work,
+	}
+}
+
+// ReuseFraction is the share of per-node pruning passes that
+// incremental re-evaluation skipped.
+func (s Stats) ReuseFraction() float64 {
+	total := s.PartialsComputed + s.PartialsReused
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PartialsReused) / float64(total)
+}
+
+// CacheHitRate is the share of transition-matrix lookups served from
+// cache.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // transition returns the flattened per-category transition matrices
 // for a branch length, from cache when possible.
 func (e *Engine) transition(length float64) []float64 {
-	if m, ok := e.pmatCache[length]; ok {
+	if m, ok := e.pmats.get(length); ok {
 		e.CacheHits++
 		return m
 	}
@@ -102,13 +271,7 @@ func (e *Engine) transition(length float64) []float64 {
 		scratch = e.model.Eigen().TransitionMatrix(length*e.rates.Rates[c], scratch)
 		copy(out[c*S*S:(c+1)*S*S], scratch.Data)
 	}
-	if len(e.pmatCache) >= e.cacheCap {
-		// Simple wholesale eviction: the working set (one tree's
-		// branch lengths) is tiny compared to the cap, so this fires
-		// rarely and keeps the code branch-free elsewhere.
-		e.pmatCache = make(map[float64][]float64, e.cacheCap)
-	}
-	e.pmatCache[length] = out
+	e.pmats.put(length, out)
 	return out
 }
 
@@ -116,18 +279,24 @@ func (e *Engine) ensureBuffers(n int) {
 	for len(e.partials) < n {
 		e.partials = append(e.partials, nil)
 		e.scales = append(e.scales, nil)
+		e.nodes = append(e.nodes, nodeRecord{})
+		e.touched = append(e.touched, false)
 	}
 	size := e.nPat * e.nCats * e.nStates
 	for i := 0; i < n; i++ {
 		if len(e.partials[i]) != size {
 			e.partials[i] = make([]float64, size)
 			e.scales[i] = make([]float64, e.nPat)
+			e.nodes[i] = nodeRecord{}
 		}
 	}
 }
 
 // OptimizeBranch implements phylo.Evaluator via the shared
-// golden-section optimizer.
+// golden-section optimizer. Because the optimizer changes exactly one
+// branch length between evaluations, incremental re-evaluation turns
+// each of its probes into a path-to-root recomputation instead of a
+// full pruning pass.
 func (e *Engine) OptimizeBranch(t *phylo.Tree, n *phylo.Node, iterations int) float64 {
 	return phylo.OptimizeBranchOf(e, t, n, iterations)
 }
@@ -135,11 +304,46 @@ func (e *Engine) OptimizeBranch(t *phylo.Tree, n *phylo.Node, iterations int) fl
 // TotalWork implements phylo.Evaluator.
 func (e *Engine) TotalWork() float64 { return e.work }
 
+// childTouched reports whether any child of n was recomputed this
+// pass (post-order guarantees children are decided before parents).
+func childTouched(n *phylo.Node, touched []bool) bool {
+	for _, c := range n.Children {
+		if touched[c.ID] {
+			return true
+		}
+	}
+	return false
+}
+
 // LogLikelihood evaluates the data's log-likelihood on tree t.
+//
+// With incremental re-evaluation enabled (the default), per-node
+// conditional likelihoods cached from earlier evaluations — of this
+// tree or of any clone sharing node IDs — are reused wherever the
+// recorded subtree structure still matches, so the pruning kernel runs
+// only on nodes whose subtree actually changed. The result is
+// bit-identical to a full recomputation: reuse is only ever of values
+// the full pass would recompute from identical inputs in identical
+// order.
 func (e *Engine) LogLikelihood(t *phylo.Tree) float64 {
 	e.Evaluations++
 	e.ensureBuffers(len(t.Nodes))
+	if len(t.Nodes) != e.lastNodes {
+		e.InvalidateAll()
+		e.lastNodes = len(t.Nodes)
+	}
+	touched := e.touched[:len(t.Nodes)]
+	for i := range touched {
+		touched[i] = false
+	}
 	t.PostOrder(func(n *phylo.Node) {
+		rec := &e.nodes[n.ID]
+		if e.incremental && rec.matches(n) && !childTouched(n, touched) {
+			e.PartialsReused++
+			return
+		}
+		touched[n.ID] = true
+		e.PartialsComputed++
 		part := e.partials[n.ID]
 		scale := e.scales[n.ID]
 		for i := range scale {
@@ -147,26 +351,29 @@ func (e *Engine) LogLikelihood(t *phylo.Tree) float64 {
 		}
 		if n.IsLeaf() {
 			e.fillLeaf(part, n.Taxon)
-			return
-		}
-		for i := range part {
-			part[i] = 1
-		}
-		for _, child := range n.Children {
-			pm := e.transition(child.Length)
-			cpart := e.partials[child.ID]
-			cscale := e.scales[child.ID]
-			for p := 0; p < e.nPat; p++ {
-				scale[p] += cscale[p]
+		} else {
+			for i := range part {
+				part[i] = 1
 			}
-			if e.nStates == 4 {
-				e.accumulate4(part, cpart, pm)
-			} else {
-				e.accumulateGeneric(part, cpart, pm)
+			for _, child := range n.Children {
+				pm := e.transition(child.Length)
+				cpart := e.partials[child.ID]
+				cscale := e.scales[child.ID]
+				for p := 0; p < e.nPat; p++ {
+					scale[p] += cscale[p]
+				}
+				if e.nStates == 4 {
+					e.accumulate4(part, cpart, pm)
+				} else {
+					e.accumulateGeneric(part, cpart, pm)
+				}
+				e.work += float64(e.nPat+1) * float64(e.nCats) * float64(e.nStates) * float64(e.nStates)
 			}
-			e.work += float64(e.nPat+1) * float64(e.nCats) * float64(e.nStates) * float64(e.nStates)
+			e.rescale(part, scale)
 		}
-		e.rescale(part, scale)
+		if e.incremental {
+			rec.record(n)
+		}
 	})
 	root := e.partials[t.Root.ID]
 	rscale := e.scales[t.Root.ID]

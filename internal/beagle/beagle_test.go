@@ -114,6 +114,10 @@ func TestAgreementProperty(t *testing.T) {
 func TestTransitionCacheEffectiveness(t *testing.T) {
 	fx := newFixture(t, 9, phylo.Nucleotide, 4, 10, 300)
 	eng, _ := New(fx.data, fx.model, fx.rates)
+	// Exercise the transition cache in isolation: with incremental
+	// re-evaluation on, repeated same-tree evaluations skip the pruning
+	// pass entirely and never consult the cache.
+	eng.SetIncremental(false)
 	eng.LogLikelihood(fx.tree)
 	missesAfterFirst := eng.CacheMisses
 	// Re-evaluating the same tree must be a pure cache hit.
@@ -132,13 +136,22 @@ func TestTransitionCacheEffectiveness(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	fx := newFixture(t, 10, phylo.Nucleotide, 1, 6, 100)
 	eng, _ := New(fx.data, fx.model, fx.rates)
-	eng.cacheCap = 8
+	eng.SetCacheCap(8)
 	// Probe more distinct branch lengths than the cap.
 	for i := 1; i <= 50; i++ {
 		eng.transition(float64(i) / 100)
 	}
-	if len(eng.pmatCache) > 8 {
-		t.Errorf("cache grew to %d entries past cap 8", len(eng.pmatCache))
+	if eng.pmats.size() > 8 {
+		t.Errorf("cache grew to %d entries past cap 8", eng.pmats.size())
+	}
+	if eng.pmats.evictions == 0 {
+		t.Error("no evictions recorded despite probing past the cap")
+	}
+	// LRU order: the most recently probed lengths must be resident.
+	for i := 43; i <= 50; i++ {
+		if _, ok := eng.pmats.get(float64(i) / 100); !ok {
+			t.Errorf("recently used length %v was evicted", float64(i)/100)
+		}
 	}
 	// Still correct after eviction.
 	ref, _ := phylo.NewLikelihood(fx.data, fx.model, fx.rates)
@@ -195,6 +208,11 @@ func BenchmarkBeagleVsReference(b *testing.B) {
 	})
 	b.Run("beagle", func(b *testing.B) {
 		eng, _ := New(fx.data, fx.model, fx.rates)
+		// Incremental reuse off: this benchmark isolates the kernel +
+		// transition-cache speedup on a full pruning pass. The
+		// incremental gain is measured by BenchmarkSearchEval50 at the
+		// repository root.
+		eng.SetIncremental(false)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			eng.LogLikelihood(fx.tree)

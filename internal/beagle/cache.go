@@ -1,0 +1,88 @@
+package beagle
+
+import "container/list"
+
+// pmatCache is a bounded LRU cache of flattened per-category transition
+// matrices keyed by branch length. Branch lengths are continuous — the
+// golden-section branch optimizer probes fresh values every generation —
+// so without genuine recency-based eviction the cache either grows
+// without bound or (as the previous wholesale-reset policy did) dumps
+// the hot working set of one tree's branch lengths together with the
+// cold optimizer probes. LRU keeps the resident set exactly at the
+// lengths the search is actively re-evaluating.
+type pmatCache struct {
+	cap       int
+	ll        *list.List // front = most recently used
+	index     map[float64]*list.Element
+	evictions int
+}
+
+// pmatEntry is one cached set of per-category matrices.
+type pmatEntry struct {
+	length float64
+	mats   []float64
+}
+
+func newPmatCache(capacity int) *pmatCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &pmatCache{
+		cap:   capacity,
+		ll:    list.New(),
+		index: make(map[float64]*list.Element, capacity),
+	}
+}
+
+// get returns the cached matrices for a branch length and refreshes
+// their recency.
+func (c *pmatCache) get(length float64) ([]float64, bool) {
+	el, ok := c.index[length]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*pmatEntry).mats, true
+}
+
+// put inserts matrices for a branch length, evicting the least recently
+// used entries past the capacity.
+func (c *pmatCache) put(length float64, mats []float64) {
+	if el, ok := c.index[length]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*pmatEntry).mats = mats
+		return
+	}
+	c.index[length] = c.ll.PushFront(&pmatEntry{length: length, mats: mats})
+	c.trim()
+}
+
+// trim evicts from the cold end until the cache fits its capacity.
+func (c *pmatCache) trim() {
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.index, back.Value.(*pmatEntry).length)
+		c.evictions++
+	}
+}
+
+// setCap re-bounds the cache, evicting immediately if it shrank.
+func (c *pmatCache) setCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.cap = n
+	c.trim()
+}
+
+// reset empties the cache. Called when the model or rate mixture
+// changes: every cached matrix is an exponential of the old rate
+// matrix and none survives a model swap.
+func (c *pmatCache) reset() {
+	c.ll.Init()
+	c.index = make(map[float64]*list.Element, c.cap)
+}
+
+// size returns the number of resident entries.
+func (c *pmatCache) size() int { return c.ll.Len() }

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lattice/internal/beagle"
+	"lattice/internal/phylo"
+	"lattice/internal/sim"
+)
+
+// EnginePerfResult quantifies the likelihood-engine optimizations on a
+// real GA tree search: the reference full-recompute engine vs the
+// beagle backend with incremental re-evaluation off and on, plus the
+// determinism guarantee of parallel population scoring. Work is
+// compared in cell updates (the engines' common currency), which is
+// hardware-independent and exact.
+type EnginePerfResult struct {
+	Taxa, Sites, Generations int
+
+	RefWork  float64 // reference engine, full recompute every call
+	FullWork float64 // beagle, incremental disabled
+	IncWork  float64 // beagle, incremental enabled
+
+	// IncrementalExact reports whether the incremental and full beagle
+	// searches returned bit-identical best trees and scores (they run
+	// the same trajectory, so anything else is an engine bug).
+	IncrementalExact bool
+	// ParallelDeterministic reports whether SearchParallel returned
+	// bit-identical results with 1 and 3 workers for the same seed.
+	ParallelDeterministic bool
+
+	ReuseFraction float64 // share of per-node pruning passes skipped
+	CacheHitRate  float64 // transition-matrix cache hit rate
+
+	SpeedupVsFull float64 // FullWork / IncWork — the incremental win
+	SpeedupVsRef  float64 // RefWork / IncWork — win over the seed path
+	BestLogL      float64
+}
+
+// EnginePerf runs the same GARLI-style search on each engine
+// configuration and measures the cell-update cost. The beagle full and
+// incremental runs share one RNG seed and therefore one trajectory, so
+// their work ratio is the exact incremental saving; the reference run
+// (its own engine, same seed) gives the speedup over the seed
+// repository's search path.
+func EnginePerf(seed int64, ntaxa, nsites, generations int) (*EnginePerfResult, error) {
+	rng := sim.NewRNG(seed)
+	model, err := phylo.NewGTR([6]float64{1.1, 3.2, 0.8, 1.3, 4.0, 1}, []float64{0.28, 0.22, 0.26, 0.24})
+	if err != nil {
+		return nil, err
+	}
+	rates, err := phylo.NewSiteRates(phylo.RateGamma, 0.6, 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	names := phylo.TaxonNames(ntaxa)
+	truth := phylo.RandomTree(names, 0.08, rng)
+	al, err := phylo.SimulateAlignment(truth, model, rates, nsites, rng)
+	if err != nil {
+		return nil, err
+	}
+	data, err := al.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cfg := phylo.DefaultSearchConfig()
+	cfg.MaxGenerations = generations
+	cfg.StagnationGenerations = generations
+	cfg.AttachmentsPerTaxon = 10
+
+	ref, err := phylo.NewLikelihood(data, model, rates)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := phylo.SearchWith(ref, names, cfg, sim.NewRNG(seed)); err != nil {
+		return nil, err
+	}
+
+	full, err := beagle.New(data, model, rates)
+	if err != nil {
+		return nil, err
+	}
+	full.SetIncremental(false)
+	resFull, err := phylo.SearchWith(full, names, cfg, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+
+	inc, err := beagle.New(data, model, rates)
+	if err != nil {
+		return nil, err
+	}
+	resInc, err := phylo.SearchWith(inc, names, cfg, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+
+	r := &EnginePerfResult{
+		Taxa: ntaxa, Sites: nsites, Generations: generations,
+		RefWork:  ref.Work,
+		FullWork: resFull.Work,
+		IncWork:  resInc.Work,
+		IncrementalExact: resInc.BestLogL == resFull.BestLogL &&
+			resInc.BestTree.Newick() == resFull.BestTree.Newick(),
+		BestLogL: resInc.BestLogL,
+	}
+	st := inc.Stats()
+	r.ReuseFraction = st.ReuseFraction()
+	r.CacheHitRate = st.CacheHitRate()
+	if r.IncWork > 0 {
+		r.SpeedupVsFull = r.FullWork / r.IncWork
+		r.SpeedupVsRef = r.RefWork / r.IncWork
+	}
+
+	// Parallel determinism: same seed, 1 vs 3 workers, bit-identical
+	// result and exact work accounting.
+	factory := func() (phylo.Evaluator, error) { return beagle.New(data, model, rates) }
+	pcfg := cfg
+	pcfg.SearchReps = 2
+	pcfg.MaxGenerations = generations / 2
+	pcfg.StagnationGenerations = generations / 2
+	var outs []*phylo.SearchResult
+	for _, workers := range []int{1, 3} {
+		pool, err := phylo.NewEvaluatorPool(workers, factory)
+		if err != nil {
+			return nil, err
+		}
+		out, err := phylo.SearchParallel(pool, names, pcfg, sim.NewRNG(seed))
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, out)
+	}
+	r.ParallelDeterministic = outs[0].BestLogL == outs[1].BestLogL &&
+		outs[0].Work == outs[1].Work &&
+		outs[0].BestTree.Newick() == outs[1].BestTree.Newick()
+	return r, nil
+}
+
+// String renders the engine comparison table.
+func (r *EnginePerfResult) String() string {
+	rows := [][]string{
+		{"reference (seed path)", fmt.Sprintf("%.3g", r.RefWork), fmt.Sprintf("×%.2f", safeRatio(r.RefWork, r.IncWork))},
+		{"beagle, full recompute", fmt.Sprintf("%.3g", r.FullWork), fmt.Sprintf("×%.2f", safeRatio(r.FullWork, r.IncWork))},
+		{"beagle, incremental", fmt.Sprintf("%.3g", r.IncWork), "×1.00"},
+	}
+	check := func(ok bool) string {
+		if ok {
+			return "yes"
+		}
+		return "NO"
+	}
+	return fmt.Sprintf("Engine performance — %d taxa, %d sites, %d generations\n%s"+
+		"partials reused: %.1f%%; transition-cache hit rate: %.1f%%\n"+
+		"incremental bit-identical to full recompute: %s\n"+
+		"parallel search deterministic across worker counts: %s\n"+
+		"best logL: %.4f\n",
+		r.Taxa, r.Sites, r.Generations,
+		table([]string{"engine", "cell updates", "work vs incremental"}, rows),
+		100*r.ReuseFraction, 100*r.CacheHitRate,
+		check(r.IncrementalExact), check(r.ParallelDeterministic),
+		r.BestLogL)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

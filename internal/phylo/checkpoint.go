@@ -31,7 +31,7 @@ func NewRunner(data *PatternData, model *Model, rates *SiteRates, names []string
 		return nil, err
 	}
 	rng := sim.NewRNG(seed)
-	st, err := newGAState(lk, names, cfg, rng)
+	st, err := newGAState(lk, nil, names, cfg, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -2,21 +2,6 @@ package phylo
 
 import "fmt"
 
-// Evaluator abstracts a tree log-likelihood engine: the single-model
-// Likelihood, the PartitionedLikelihood below, and optimized backends
-// (internal/beagle) all satisfy it, so the GA search runs unchanged on
-// any of them.
-type Evaluator interface {
-	// LogLikelihood evaluates the data on tree t.
-	LogLikelihood(t *Tree) float64
-	// OptimizeBranch refines the branch above n and returns the
-	// achieved log-likelihood.
-	OptimizeBranch(t *Tree, n *Node, iterations int) float64
-	// TotalWork reports the cumulative evaluation cost in cell
-	// updates.
-	TotalWork() float64
-}
-
 // Partition couples one block of sites with its own substitution model
 // and rate mixture — GARLI's partitioned models ("the program is being
 // adapted … allowing more data types, partitioned models"). Typical

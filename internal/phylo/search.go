@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"lattice/internal/sim"
 )
@@ -137,7 +139,7 @@ func SearchWith(ev Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*
 	}
 	res := &SearchResult{BestLogL: negInf}
 	for rep := 0; rep < cfg.SearchReps; rep++ {
-		rr, evals, err := searchReplicate(ev, names, cfg, rng)
+		rr, evals, err := searchReplicate(ev, nil, names, cfg, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -169,12 +171,100 @@ func SearchPartitioned(parts []Partition, names []string, cfg SearchConfig, rng 
 	return SearchWith(pl, names, cfg, rng)
 }
 
+// SearchParallel runs the GA search across a pool of evaluators. With
+// one replicate the pool fans out population and stepwise-addition
+// candidate scoring inside the replicate; with several replicates each
+// worker runs whole replicates on its own engine. Either way the
+// result is bit-identical for a fixed seed regardless of worker count:
+// every replicate draws from its own RNG stream derived up front, each
+// engine is confined to one goroutine, scores are independent of
+// engine cache state, and ties are broken by replicate index exactly
+// as the serial loop does.
+//
+// Note SearchParallel's replicate RNG streams differ from SearchWith's
+// sequential draws, so the two return different (equally valid) search
+// trajectories; determinism guarantees hold within each entry point.
+func SearchParallel(pool *EvaluatorPool, names []string, cfg SearchConfig, rng *sim.RNG) (*SearchResult, error) {
+	if pool == nil || pool.Workers() < 1 {
+		return nil, fmt.Errorf("phylo: SearchParallel needs a non-empty evaluator pool")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Derive one independent stream per replicate serially, before any
+	// goroutine starts: sim.RNG stream derivation consumes parent
+	// draws, so the order must not depend on scheduling.
+	streams := make([]*sim.RNG, cfg.SearchReps)
+	for i := range streams {
+		streams[i] = rng.Stream(fmt.Sprintf("rep%d", i))
+	}
+	res := &SearchResult{BestLogL: negInf}
+	if cfg.SearchReps == 1 {
+		rr, evals, err := searchReplicate(pool.Evaluator(0), pool, names, cfg, streams[0])
+		if err != nil {
+			return nil, err
+		}
+		res.Replicates = []ReplicateResult{*rr}
+		res.Generations = rr.Generations
+		res.Evaluations = evals
+		res.BestLogL = rr.LogL
+		res.BestTree = rr.Tree
+		res.Work = pool.TotalWork()
+		return res, nil
+	}
+	type repOut struct {
+		rr    *ReplicateResult
+		evals int
+		err   error
+	}
+	outs := make([]repOut, cfg.SearchReps)
+	workers := pool.Workers()
+	if workers > cfg.SearchReps {
+		workers = cfg.SearchReps
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ev Evaluator) {
+			defer wg.Done()
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= cfg.SearchReps {
+					return
+				}
+				rr, evals, err := searchReplicate(ev, nil, names, cfg, streams[rep])
+				outs[rep] = repOut{rr: rr, evals: evals, err: err}
+			}
+		}(pool.Evaluator(w))
+	}
+	wg.Wait()
+	// Merge in replicate-index order: deterministic tie-breaks and a
+	// deterministic first error.
+	for rep := 0; rep < cfg.SearchReps; rep++ {
+		if outs[rep].err != nil {
+			return nil, outs[rep].err
+		}
+		rr := outs[rep].rr
+		res.Replicates = append(res.Replicates, *rr)
+		res.Generations += rr.Generations
+		res.Evaluations += outs[rep].evals
+		if rr.LogL > res.BestLogL {
+			res.BestLogL = rr.LogL
+			res.BestTree = rr.Tree
+		}
+	}
+	res.Work = pool.TotalWork()
+	return res, nil
+}
+
 var negInf = math.Inf(-1)
 
 // gaState is the mutable state of one GA search replicate; it is the
 // unit that checkpointing (see Runner in checkpoint.go) snapshots.
 type gaState struct {
 	lk       Evaluator
+	pool     *EvaluatorPool // optional: parallel batch scoring
 	cfg      SearchConfig
 	pop      []individual
 	gen      int
@@ -183,23 +273,47 @@ type gaState struct {
 	evals    int
 }
 
-// newGAState builds the starting population for one replicate.
-func newGAState(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*gaState, error) {
-	start, err := startingTree(lk, names, cfg, rng)
+// scoreTrees evaluates a batch of trees, through the pool when one is
+// available and the batch is worth fanning out. The serial and pooled
+// paths return bit-identical scores: an engine recomputes anything its
+// cache cannot prove current, and reuse is bit-identical to
+// recomputation, so a tree's score never depends on which engine (or
+// how warm an engine) evaluated it.
+func scoreTrees(ev Evaluator, pool *EvaluatorPool, trees []*Tree) []float64 {
+	if pool != nil && pool.Workers() > 1 && len(trees) > 1 {
+		return pool.ScoreAll(trees)
+	}
+	out := make([]float64, len(trees))
+	for i, t := range trees {
+		out[i] = ev.LogLikelihood(t)
+	}
+	return out
+}
+
+// newGAState builds the starting population for one replicate. Trees
+// are built first (consuming the RNG in the same order as the original
+// serial loop — evaluations draw no randomness) and then scored as a
+// batch, so the population can be fanned out across a pool.
+func newGAState(lk Evaluator, pool *EvaluatorPool, names []string, cfg SearchConfig, rng *sim.RNG) (*gaState, error) {
+	start, err := startingTree(lk, pool, names, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
-	st := &gaState{lk: lk, cfg: cfg}
+	st := &gaState{lk: lk, pool: pool, cfg: cfg}
 	st.pop = make([]individual, cfg.PopulationSize)
-	for i := range st.pop {
+	trees := make([]*Tree, cfg.PopulationSize)
+	for i := range trees {
 		t := start.Clone()
 		if i > 0 {
 			// Diversify the initial population with a branch jiggle.
 			perturbBranches(t, rng)
 		}
-		l := lk.LogLikelihood(t)
-		st.evals++
-		st.pop[i] = individual{tree: t, logL: l}
+		trees[i] = t
+	}
+	scores := scoreTrees(lk, pool, trees)
+	st.evals += len(trees)
+	for i := range st.pop {
+		st.pop[i] = individual{tree: trees[i], logL: scores[i]}
 	}
 	sortPop(st.pop)
 	st.best = st.pop[0].logL
@@ -260,8 +374,8 @@ func (st *gaState) step(rng *sim.RNG) {
 	st.gen++
 }
 
-func searchReplicate(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*ReplicateResult, int, error) {
-	st, err := newGAState(lk, names, cfg, rng)
+func searchReplicate(lk Evaluator, pool *EvaluatorPool, names []string, cfg SearchConfig, rng *sim.RNG) (*ReplicateResult, int, error) {
+	st, err := newGAState(lk, pool, names, cfg, rng)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -299,14 +413,14 @@ func (st *gaState) finalPolish() float64 {
 }
 
 // startingTree builds the replicate's initial tree per config.
-func startingTree(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) (*Tree, error) {
+func startingTree(lk Evaluator, pool *EvaluatorPool, names []string, cfg SearchConfig, rng *sim.RNG) (*Tree, error) {
 	switch cfg.StartingTree {
 	case StartRandom:
 		return RandomTree(names, cfg.MeanBranchLength, rng), nil
 	case StartUser:
 		return cfg.UserTree.Clone(), nil
 	case StartStepwise:
-		return stepwiseAdditionTree(lk, names, cfg, rng), nil
+		return stepwiseAdditionTree(lk, pool, names, cfg, rng), nil
 	default:
 		return nil, fmt.Errorf("phylo: unknown starting tree kind %v", cfg.StartingTree)
 	}
@@ -317,7 +431,7 @@ func startingTree(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) 
 // fewer exist) and kept at the most likely position. The work this
 // burns is exactly why attachmentspertaxon appears among the paper's
 // runtime predictors.
-func stepwiseAdditionTree(lk Evaluator, names []string, cfg SearchConfig, rng *sim.RNG) *Tree {
+func stepwiseAdditionTree(lk Evaluator, pool *EvaluatorPool, names []string, cfg SearchConfig, rng *sim.RNG) *Tree {
 	order := rng.Perm(len(names))
 	t := &Tree{}
 	root := t.newNode()
@@ -348,8 +462,11 @@ func stepwiseAdditionTree(lk Evaluator, names []string, cfg SearchConfig, rng *s
 			tries = len(edges)
 		}
 		perm := rng.Perm(len(edges))
-		bestLogL := negInf
-		bestEdge := -1
+		// Build every candidate placement, then score the batch —
+		// possibly in parallel. The lowest-index strictly-greater
+		// argmax reproduces the original serial loop's first-wins
+		// tie-break exactly.
+		cands := make([]*Tree, tries)
 		for k := 0; k < tries; k++ {
 			cand := t.Clone()
 			leaf := cand.newNode()
@@ -358,9 +475,14 @@ func stepwiseAdditionTree(lk Evaluator, names []string, cfg SearchConfig, rng *s
 			leaf.Length = cfg.MeanBranchLength
 			cand.attachAt(leaf, cand.Nodes[edges[perm[k]].ID], leaf.Length)
 			cand.reindex()
-			l := lk.LogLikelihood(cand)
-			if l > bestLogL {
-				bestLogL = l
+			cands[k] = cand
+		}
+		scores := scoreTrees(lk, pool, cands)
+		bestLogL := negInf
+		bestEdge := -1
+		for k := 0; k < tries; k++ {
+			if scores[k] > bestLogL {
+				bestLogL = scores[k]
 				bestEdge = perm[k]
 			}
 		}

@@ -237,7 +237,7 @@ func TestStepwiseVsRandomStartQuality(t *testing.T) {
 	lk, _ := NewLikelihood(pd, m, rs)
 	cfg := DefaultSearchConfig()
 	cfg.AttachmentsPerTaxon = 8
-	step := stepwiseAdditionTree(lk, al.Names, cfg, rng)
+	step := stepwiseAdditionTree(lk, nil, al.Names, cfg, rng)
 	if err := step.Check(); err != nil {
 		t.Fatal(err)
 	}

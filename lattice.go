@@ -171,9 +171,20 @@ type (
 	Partition = phylo.Partition
 	// PartitionedLikelihood evaluates several partitions on one tree.
 	PartitionedLikelihood = phylo.PartitionedLikelihood
+	// IncrementalEvaluator is an Evaluator with explicit cache
+	// invalidation (the beagle backend's incremental re-evaluation).
+	IncrementalEvaluator = phylo.IncrementalEvaluator
+	// EvaluatorPool scores GA populations and search replicates in
+	// parallel, one engine per worker, bit-deterministically.
+	EvaluatorPool = phylo.EvaluatorPool
+	// EvaluatorFactory builds one pool worker's engine.
+	EvaluatorFactory = phylo.EvaluatorFactory
 	// BeagleEngine is the optimized likelihood backend (this
 	// repository's BEAGLE analogue).
 	BeagleEngine = beagle.Engine
+	// BeagleStats is a snapshot of a BeagleEngine's cache and work
+	// counters.
+	BeagleStats = beagle.Stats
 	// NexusFile is a parsed NEXUS document (data matrix + trees).
 	NexusFile = phylo.NexusFile
 )
@@ -187,6 +198,19 @@ func NewPartitionedLikelihood(parts []Partition) (*PartitionedLikelihood, error)
 // NewBeagleEngine builds the optimized likelihood backend.
 func NewBeagleEngine(data *phylo.PatternData, model *Model, rates *SiteRates) (*BeagleEngine, error) {
 	return beagle.New(data, model, rates)
+}
+
+// NewEvaluatorPool builds a pool of `workers` engines for parallel
+// population scoring and replicate-parallel search.
+func NewEvaluatorPool(workers int, factory EvaluatorFactory) (*EvaluatorPool, error) {
+	return phylo.NewEvaluatorPool(workers, factory)
+}
+
+// SearchParallel runs the GA tree search across a pool of evaluators;
+// results are bit-deterministic for a fixed seed regardless of worker
+// count.
+func SearchParallel(pool *EvaluatorPool, names []string, cfg SearchConfig, rng *sim.RNG) (*SearchResult, error) {
+	return phylo.SearchParallel(pool, names, cfg, rng)
 }
 
 // Virtual time units for Lattice.Run.
