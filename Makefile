@@ -4,7 +4,7 @@ GO ?= go
 # parallel population scoring); see EXPERIMENTS.md "Performance".
 BENCH_PATTERN = SearchEval50|Search50|ParallelScore
 
-.PHONY: all build vet lint test race check bench bench-smoke bench-json
+.PHONY: all build vet lint test race smoke check bench bench-smoke bench-json
 
 all: check
 
@@ -26,6 +26,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# smoke boots the full grid binary on a loopback port, runs a fixed
+# workload, scrapes /metrics and /trace over real HTTP, and fails if
+# the exposition is empty or unparseable.
+smoke:
+	$(GO) run ./cmd/lattice -smoke
+
 # bench runs the engine micro-benchmarks at measurement quality.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem .
@@ -40,6 +46,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 
 # check is the full correctness gate: compile, go vet, the project
-# analyzers, and the test suite under the race detector (which
-# includes the forest/BOINC concurrency stress tests).
-check: build vet lint race
+# analyzers, the test suite under the race detector (which includes
+# the forest/BOINC concurrency stress tests), and the grid boot smoke
+# that scrapes /metrics over real HTTP.
+check: build vet lint race smoke

@@ -5,16 +5,25 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'SearchEval50' -benchmem . | benchjson > BENCH_PR2.json
+//	... | benchjson -obs metrics.txt > BENCH.json   # attach an obs snapshot
+//
+// With -obs, the named file is read as a Prometheus-style text
+// exposition (what /metrics serves) and its series are embedded in the
+// report under "obs", so a benchmark artifact can carry the grid's
+// metrics snapshot from the same run.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"lattice/internal/obs"
 )
 
 // Benchmark is one parsed result line.
@@ -31,13 +40,30 @@ type Report struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Obs holds the series of an optional observability snapshot
+	// (-obs file), keyed by "name{labels}".
+	Obs map[string]float64 `json:"obs,omitempty"`
 }
 
 func main() {
+	obsFile := flag.String("obs", "", "optional /metrics snapshot file to embed in the report")
+	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *obsFile != "" {
+		text, err := os.ReadFile(*obsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Obs, err = obs.ParseExposition(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *obsFile, err)
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

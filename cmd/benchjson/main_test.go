@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"lattice/internal/obs"
 )
 
 const sample = `goos: linux
@@ -48,5 +52,45 @@ func TestParse(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok lattice 1s\n")); err == nil {
 		t.Error("expected error for input with no benchmark lines")
+	}
+}
+
+func TestObsSnapshotEmbedding(t *testing.T) {
+	const exposition = `# HELP lattice_sched_jobs_submitted_total Jobs accepted by the meta-scheduler
+# TYPE lattice_sched_jobs_submitted_total counter
+lattice_sched_jobs_submitted_total 42
+# HELP lattice_sched_placements_total Placement decisions by resource and ranking policy
+# TYPE lattice_sched_placements_total counter
+lattice_sched_placements_total{policy="full",resource="boinc-main"} 17
+`
+	f := t.TempDir() + "/metrics.txt"
+	if err := os.WriteFile(f, []byte(exposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := obs.ParseExposition(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Obs = series
+	if rep.Obs["lattice_sched_jobs_submitted_total"] != 42 {
+		t.Errorf("plain series lost: %v", rep.Obs)
+	}
+	if rep.Obs[`lattice_sched_placements_total{policy="full",resource="boinc-main"}`] != 17 {
+		t.Errorf("labeled series lost: %v", rep.Obs)
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"obs"`) {
+		t.Errorf("report JSON missing obs section: %s", out)
 	}
 }

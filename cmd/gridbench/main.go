@@ -7,6 +7,7 @@
 //	gridbench -list
 //	gridbench -run fig2,e4,e5
 //	gridbench -run all -seed 42
+//	gridbench -run e4 -obs        # append /metrics snapshots per config
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"lattice/internal/experiments"
 )
 
 func main() {
@@ -25,9 +28,10 @@ func main() {
 
 func run() error {
 	var (
-		list = flag.Bool("list", false, "list available experiments")
-		sel  = flag.String("run", "all", "comma-separated experiment IDs or 'all'")
-		seed = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		sel     = flag.String("run", "all", "comma-separated experiment IDs or 'all'")
+		seed    = flag.Int64("seed", 1, "random seed")
+		withObs = flag.Bool("obs", false, "print each configuration's final /metrics snapshot after its table")
 	)
 	flag.Parse()
 	if *list {
@@ -52,6 +56,11 @@ func run() error {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		fmt.Println(out)
+		if *withObs {
+			for _, ne := range experiments.ObsExpositions(out) {
+				fmt.Printf("--- metrics snapshot: %s ---\n%s\n", ne.Name, ne.Exposition)
+			}
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -8,18 +8,30 @@
 //	lattice -addr :8080 -accel 60   # 1 wall minute = 1 grid hour
 //
 // Then open http://localhost:8080/garli/create, upload a FASTA file,
-// and watch your batch at /batch/<id>?format=json.
+// and watch your batch at /batch/<id>?format=json. Metrics are at
+// /metrics (text exposition) and per-batch traces at /trace/<id>;
+// pass -metrics-addr to serve those two endpoints on a separate
+// listener as well.
+//
+// The -smoke flag boots the grid on a loopback port, pushes a small
+// workload through it, scrapes /metrics and /trace over real HTTP,
+// and exits non-zero unless the exposition parses and shows the
+// workload — the CI boot check.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"time"
 
 	"lattice/internal/core"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
+	"lattice/internal/workload"
 )
 
 func main() {
@@ -31,10 +43,12 @@ func main() {
 
 func run() error {
 	var (
-		addr  = flag.String("addr", ":8080", "portal listen address")
-		accel = flag.Float64("accel", 60, "grid-time acceleration (virtual seconds per wall second)")
-		seed  = flag.Int64("seed", 1, "random seed for the simulated federation")
-		train = flag.Int("train", 150, "runtime-model training jobs")
+		addr        = flag.String("addr", ":8080", "portal listen address")
+		metricsAddr = flag.String("metrics-addr", "", "optional separate listen address for /metrics and /trace/")
+		accel       = flag.Float64("accel", 60, "grid-time acceleration (virtual seconds per wall second)")
+		seed        = flag.Int64("seed", 1, "random seed for the simulated federation")
+		train       = flag.Int("train", 150, "runtime-model training jobs")
+		smoke       = flag.Bool("smoke", false, "boot, run a small workload, self-scrape /metrics, and exit")
 	)
 	flag.Parse()
 
@@ -43,6 +57,9 @@ func run() error {
 	lat, err := core.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *smoke {
+		return runSmoke(lat)
 	}
 	fmt.Printf("The Lattice Project — grid up with %d resources, %d CPU cores visible\n",
 		len(lat.ResourceNames()), lat.TotalCores())
@@ -67,6 +84,114 @@ func run() error {
 		}
 	}()
 
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics listening on %s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, metricsMux(lat)); err != nil {
+				fmt.Fprintln(os.Stderr, "lattice: metrics server:", err)
+			}
+		}()
+	}
 	fmt.Printf("portal listening on %s (×%.0f time acceleration)\n", *addr, *accel)
 	return http.ListenAndServe(*addr, lat.Portal.Handler())
+}
+
+// metricsMux exposes only the observability endpoints — what a
+// scrape-only listener should serve.
+func metricsMux(lat *core.Lattice) *http.ServeMux {
+	portal := lat.Portal.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", portal)
+	mux.Handle("/trace/", portal)
+	return mux
+}
+
+// runSmoke is the CI boot check: serve the portal on a loopback port,
+// run a small fixed-seed workload to completion, then scrape /metrics
+// and /trace/ over HTTP and verify the exposition parses and reflects
+// the workload.
+func runSmoke(lat *core.Lattice) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: lat.Portal.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "lattice: smoke server:", err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("smoke: portal listening on %s\n", ln.Addr())
+
+	sub := workload.NewGenerator(7).Submission()
+	sub.Replicates = 10
+	sub.UserEmail = "smoke@example.edu"
+	batch, err := lat.SubmitSubmission(sub)
+	if err != nil {
+		return fmt.Errorf("smoke submit: %w", err)
+	}
+	for i := 0; i < 400; i++ {
+		lat.Portal.Pump(6 * sim.Hour)
+		if st, err := lat.Service.Status(batch.ID); err == nil && st.Done {
+			break
+		}
+	}
+	st, err := lat.Service.Status(batch.ID)
+	if err != nil {
+		return err
+	}
+	if !st.Done {
+		return fmt.Errorf("smoke: batch %s not done after pumping (%d/%d terminal)",
+			batch.ID, st.Completed+st.Failed, st.Total)
+	}
+
+	body, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := obs.ParseExposition(string(body))
+	if err != nil {
+		return fmt.Errorf("smoke: /metrics unparseable: %w", err)
+	}
+	if len(metrics) == 0 {
+		return fmt.Errorf("smoke: /metrics exposition is empty")
+	}
+	for _, key := range []string{
+		"lattice_sched_jobs_submitted_total",
+		"lattice_sched_jobs_completed_total",
+	} {
+		if metrics[key] <= 0 {
+			return fmt.Errorf("smoke: metric %s is %g, want > 0", key, metrics[key])
+		}
+	}
+	if _, err := get(base + "/trace/" + batch.ID); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: OK — %d series, %d/%d jobs completed, journal digest %.12s…\n",
+		len(metrics), st.Completed, st.Total, lat.Obs.Journal.Digest())
+	return nil
+}
+
+// get fetches a URL and returns its body, treating any non-200 status
+// as an error.
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s (%.120s)", url, resp.Status, body)
+	}
+	return body, nil
 }

@@ -14,6 +14,7 @@ import (
 	"lattice"
 	"lattice/internal/grid/mds"
 	"lattice/internal/metasched"
+	"lattice/internal/obs"
 	"lattice/internal/phylo"
 	"lattice/internal/sim"
 )
@@ -247,5 +248,145 @@ func TestMDSPropagationHierarchy(t *testing.T) {
 	grid.Run(10 * sim.Minute)
 	if got := len(central.Snapshot()); got != len(grid.ResourceNames()) {
 		t.Errorf("central index sees %d resources, want %d", got, len(grid.ResourceNames()))
+	}
+}
+
+// TestObservabilityConservationAndDeterminism submits one 200-replicate
+// batch (bundling disabled, so 200 grid jobs), runs it to completion,
+// and checks the observability subsystem's two core invariants: every
+// job reaches exactly one terminal state in the journal, and a fixed
+// seed reproduces the journal digest and the full /metrics exposition
+// bit for bit.
+func TestObservabilityConservationAndDeterminism(t *testing.T) {
+	run := func() (digest, exposition string, terminal map[string]int, jobs int) {
+		cfg := lattice.DefaultConfig(90)
+		cfg.TrainingJobs = 60
+		cfg.Scheduler.BundleTargetSeconds = 0 // one grid job per replicate
+		grid, err := lattice.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := lattice.Submission{
+			Spec: lattice.JobSpec{
+				DataType: lattice.Nucleotide, SubstModel: "HKY85",
+				RateHet: lattice.RateGamma, NumRateCats: 4, GammaShape: 0.5,
+				NumTaxa: 16, SeqLength: 800, SearchReps: 1,
+				StartingTree: lattice.StartStepwise, AttachmentsPerTaxon: 20, Seed: 9,
+			},
+			Replicates: 200,
+			Bootstrap:  true,
+			UserEmail:  "obs@example.edu",
+		}
+		batch, err := grid.SubmitSubmission(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid.Run(60 * lattice.Day)
+		st, err := grid.Service.Status(batch.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Done {
+			t.Fatalf("batch incomplete after 60 days: %+v", st)
+		}
+		return grid.Obs.Journal.Digest(), grid.Obs.Exposition(),
+			grid.Obs.Journal.TerminalCounts(), len(batch.Jobs)
+	}
+
+	d1, e1, term, jobs := run()
+	if jobs != 200 {
+		t.Fatalf("bundling disabled but submission expanded to %d jobs, want 200", jobs)
+	}
+	if len(term) < jobs {
+		t.Fatalf("journal saw %d jobs, want >= %d", len(term), jobs)
+	}
+	for id, n := range term {
+		if n != 1 {
+			t.Errorf("job %s has %d terminal events, want exactly 1", id, n)
+		}
+	}
+	d2, e2, _, _ := run()
+	if d1 != d2 {
+		t.Errorf("same seed, different journal digests: %s vs %s", d1, d2)
+	}
+	if e1 != e2 {
+		t.Errorf("same seed, different /metrics expositions (lengths %d vs %d)", len(e1), len(e2))
+	}
+}
+
+// TestPortalObservabilityEndpoints checks the portal serves the text
+// exposition at /metrics and a batch's span tree at /trace/{batch}.
+func TestPortalObservabilityEndpoints(t *testing.T) {
+	cfg := lattice.DefaultConfig(91)
+	cfg.TrainingJobs = 40
+	grid, err := lattice.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := lattice.Submission{
+		Spec: lattice.JobSpec{
+			DataType: lattice.Nucleotide, SubstModel: "JC69",
+			RateHet: lattice.RateHomogeneous, NumRateCats: 4,
+			NumTaxa: 12, SeqLength: 600, SearchReps: 1,
+			StartingTree: lattice.StartStepwise, AttachmentsPerTaxon: 15, Seed: 3,
+		},
+		Replicates: 8,
+		UserEmail:  "trace@example.edu",
+	}
+	batch, err := grid.SubmitSubmission(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Run(20 * lattice.Day)
+	srv := httptest.NewServer(grid.Portal.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	metrics, err := obs.ParseExposition(string(body))
+	if err != nil {
+		t.Fatalf("/metrics exposition unparseable: %v", err)
+	}
+	if metrics["lattice_sched_jobs_submitted_total"] <= 0 {
+		t.Errorf("submitted counter missing from exposition: %v", len(metrics))
+	}
+
+	resp, err = http.Get(srv.URL + "/trace/" + batch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		Batch string         `json:"batch"`
+		Spans []obs.SpanView `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&trace)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status %d", resp.StatusCode)
+	}
+	// Root span plus one per job.
+	if trace.Batch != batch.ID || len(trace.Spans) != 1+len(batch.Jobs) {
+		t.Errorf("trace has %d spans for %d jobs", len(trace.Spans), len(batch.Jobs))
+	}
+	resp, err = http.Get(srv.URL + "/trace/batch-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown batch trace status %d, want 404", resp.StatusCode)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lattice/internal/lrm"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 )
 
@@ -113,6 +114,36 @@ type Server struct {
 	unsent []*workunit
 	byJob  map[string]*workunit
 	stats  Stats
+	obs    *obs.Obs
+	ins    boincInstruments
+}
+
+// boincInstruments holds the project's metric handles; all are
+// nil-safe, so an un-wired server records nothing.
+type boincInstruments struct {
+	issued    *obs.Counter
+	returned  *obs.Counter
+	late      *obs.Counter
+	missed    *obs.Counter
+	reissued  *obs.Counter
+	wuFailed  *obs.Counter
+	validated *obs.Counter
+}
+
+// SetObs wires the project to an observability hub: deadline misses,
+// reissues, and quorum validations become counters and journal events.
+func (s *Server) SetObs(o *obs.Obs) {
+	pl := obs.L("project", s.cfg.Name)
+	s.obs = o
+	s.ins = boincInstruments{
+		issued:    o.Counter("lattice_boinc_results_issued_total", "Result instances sent to volunteer hosts", pl),
+		returned:  o.Counter("lattice_boinc_results_returned_total", "Result instances returned by hosts", pl),
+		late:      o.Counter("lattice_boinc_results_late_total", "Results returned after reissue or completion (wasted)", pl),
+		missed:    o.Counter("lattice_boinc_deadline_misses_total", "Results whose delay bound passed before return", pl),
+		reissued:  o.Counter("lattice_boinc_reissues_total", "Workunits requeued after a deadline miss", pl),
+		wuFailed:  o.Counter("lattice_boinc_workunits_failed_total", "Workunits failed back to the grid (issue limit)", pl),
+		validated: o.Counter("lattice_boinc_quorum_validations_total", "Workunits that reached quorum and validated", pl),
+	}
 }
 
 // NewServer creates a project with no hosts attached.
@@ -300,6 +331,7 @@ func (s *Server) issue(wu *workunit, h *Host) {
 	wu.issues++
 	wu.pending = append(wu.pending, r)
 	s.stats.ResultsIssued++
+	s.ins.issued.Inc()
 	h.tasks = append(h.tasks, &task{res: r, remainingWork: wu.job.Work})
 	if len(h.tasks) == 1 {
 		h.resume()
@@ -339,6 +371,7 @@ func (s *Server) deadlinePassed(r *result) (notify func()) {
 	}
 	r.timedOut = true
 	s.stats.ResultsTimedOut++
+	s.ins.missed.Inc()
 	wu.removePending(r)
 	// Drop the task from the host queue if the host still holds it.
 	if !r.lost {
@@ -347,6 +380,7 @@ func (s *Server) deadlinePassed(r *result) (notify func()) {
 	if wu.issues >= s.cfg.MaxIssues {
 		wu.failed = true
 		s.stats.WorkunitsFailed++
+		s.ins.wuFailed.Inc()
 		s.removeUnsent(wu)
 		if fail := wu.job.OnFail; fail != nil {
 			now := s.eng.Now()
@@ -355,6 +389,9 @@ func (s *Server) deadlinePassed(r *result) (notify func()) {
 		return nil
 	}
 	// Back to the unsent queue for reissue.
+	s.ins.reissued.Inc()
+	s.obs.Record(wu.job.Batch, wu.job.ID, obs.StageReissue, s.cfg.Name,
+		fmt.Sprintf("deadline passed, issue %d/%d", wu.issues, s.cfg.MaxIssues))
 	s.requeue(wu)
 	return nil
 }
@@ -399,10 +436,12 @@ func (h *Host) dropTask(r *result) {
 // just validated) must be invoked after the lock is released.
 func (s *Server) receiveResult(r *result) (notify func()) {
 	s.stats.ResultsReturned++
+	s.ins.returned.Inc()
 	wu := r.wu
 	if r.timedOut || wu.done || wu.failed {
 		// Arrived after reissue or completion: wasted computation.
 		s.stats.ResultsLate++
+		s.ins.late.Inc()
 		s.stats.WastedCPUSeconds += wu.job.Work / lrm.ReferenceCellsPerSecond
 		return nil
 	}
@@ -413,6 +452,9 @@ func (s *Server) receiveResult(r *result) (notify func()) {
 	}
 	wu.done = true
 	s.stats.WorkunitsDone++
+	s.ins.validated.Inc()
+	s.obs.Record(wu.job.Batch, wu.job.ID, obs.StageQuorum, s.cfg.Name,
+		fmt.Sprintf("%d/%d results", wu.returned, s.cfg.Quorum))
 	// Redundant copies beyond the first are overhead by design.
 	if s.cfg.Quorum > 1 {
 		s.stats.WastedCPUSeconds += float64(s.cfg.Quorum-1) * wu.job.Work / lrm.ReferenceCellsPerSecond

@@ -18,6 +18,7 @@ import (
 	"lattice/internal/lrm/pbs"
 	"lattice/internal/lrm/sge"
 	"lattice/internal/metasched"
+	"lattice/internal/obs"
 	"lattice/internal/portal"
 	"lattice/internal/sim"
 	"lattice/internal/workload"
@@ -102,6 +103,9 @@ type Lattice struct {
 	Estimator *estimate.Estimator
 	Portal    *portal.Portal
 	Boinc     *boinc.Server // nil if no BOINC resource configured
+	// Obs is the deployment-wide observability hub: metrics, traces,
+	// and the job-lifecycle journal, all on virtual time.
+	Obs *obs.Obs
 
 	rng       *sim.RNG
 	resources map[string]lrm.LRM
@@ -134,11 +138,16 @@ func New(cfg Config) (*Lattice, error) {
 		resources: make(map[string]lrm.LRM),
 		refName:   cfg.ReferenceCluster,
 	}
+	l.Obs = obs.New(eng)
 	l.Scheduler = metasched.New(eng, idx, cfg.Scheduler)
+	l.Scheduler.SetObs(l.Obs)
 	for _, rs := range cfg.Resources {
 		target, err := l.buildResource(rs)
 		if err != nil {
 			return nil, err
+		}
+		if w, ok := target.(interface{ SetObs(*obs.Obs) }); ok {
+			w.SetObs(l.Obs)
 		}
 		l.resources[rs.Name] = target
 		if _, err := mds.StartProvider(eng, idx, target, cfg.ProviderPeriod); err != nil {
@@ -162,7 +171,9 @@ func New(cfg Config) (*Lattice, error) {
 	}
 	l.Mailer = &gsbl.Mailer{}
 	l.Service = gsbl.NewService(eng, l.Scheduler, l.Mailer, rng.Stream("gsbl"))
+	l.Service.SetObs(l.Obs)
 	l.Portal = portal.New(eng, l.Service)
+	l.Portal.SetObs(l.Obs)
 	l.Portal.SetStatusSource(func() any {
 		type row struct {
 			Name    string `json:"name"`
@@ -310,8 +321,8 @@ func (l *Lattice) forkReferenceReplicate(sub workload.Submission) {
 		// The reference cluster runs at speed 1.0, so wall time is
 		// reference time (minus queueing, which the paper's operators
 		// also absorbed).
-		obs := float64(at.Sub(start))
-		if err := l.Estimator.AddObservation(&spec, obs); err != nil {
+		observed := float64(at.Sub(start))
+		if err := l.Estimator.AddObservation(&spec, observed); err != nil {
 			l.noteRetrainErr(err)
 			return
 		}

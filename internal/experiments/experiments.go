@@ -81,6 +81,10 @@ type BatchMetrics struct {
 	UsefulCPUHours float64
 	WastedCPUHours float64
 	Preemptions    int
+	// Exposition is the grid's final /metrics snapshot in text
+	// exposition format — the observability view of the same run,
+	// deterministic for a fixed seed.
+	Exposition string
 }
 
 // gridRun owns one configured Lattice and runs workloads through it.
@@ -186,6 +190,7 @@ func (g *gridRun) runSubmissionsPaced(subs []workload.Submission, interarrival, 
 		m.WastedCPUHours += st.WastedCPU / 3600
 		m.Preemptions += st.Preemptions
 	}
+	m.Exposition = g.lat.Obs.Exposition()
 	return m, nil
 }
 

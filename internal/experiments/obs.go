@@ -1,0 +1,37 @@
+package experiments
+
+// NamedExposition pairs one experiment configuration with the final
+// /metrics snapshot of the grid that ran it.
+type NamedExposition struct {
+	Name       string
+	Exposition string
+}
+
+// ObsExpositions extracts per-configuration metrics snapshots from an
+// experiment result, in table-row order. Results that do not carry
+// per-configuration BatchMetrics return nil. Iterating Rows (rather
+// than the Results map) keeps the output order deterministic.
+func ObsExpositions(res any) []NamedExposition {
+	var rows [][]string
+	var byName map[string]BatchMetrics
+	switch r := res.(type) {
+	case *RankingResult:
+		rows, byName = r.Rows, r.Results
+	case *GatingResult:
+		rows, byName = r.Rows, r.Results
+	case *EstimatorEffectResult:
+		rows, byName = r.Rows, r.Results
+	default:
+		return nil
+	}
+	var out []NamedExposition
+	for _, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		if m, ok := byName[row[0]]; ok && m.Exposition != "" {
+			out = append(out, NamedExposition{Name: row[0], Exposition: m.Exposition})
+		}
+	}
+	return out
+}

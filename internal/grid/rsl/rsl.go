@@ -183,7 +183,12 @@ func (p *parser) readValue() (string, error) {
 // JobDescription is the typed view of a grid job the scheduler and
 // adapters work with.
 type JobDescription struct {
-	JobID               string
+	JobID string
+	// BatchID names the portal batch the job belongs to, when it came
+	// through one — the trace/journal context (internal/obs) travels
+	// with the job description the way the real system's grid job
+	// annotations did.
+	BatchID             string
 	Executable          string
 	Arguments           []string
 	Count               int // replicate count carried for bundling
@@ -341,6 +346,7 @@ func FromSpec(s *Spec) (*JobDescription, error) {
 func (d *JobDescription) ToJob() *lrm.Job {
 	j := &lrm.Job{
 		ID:                  d.JobID,
+		Batch:               d.BatchID,
 		Work:                d.Work,
 		MemoryMB:            d.MaxMemoryMB,
 		Platforms:           append([]lrm.Platform(nil), d.Platforms...),

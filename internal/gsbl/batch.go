@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"lattice/internal/metasched"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 	"lattice/internal/workload"
 )
@@ -44,7 +45,13 @@ type Service struct {
 	rng     *sim.RNG
 	batches map[string]*Batch
 	nextID  int
+	obs     *obs.Obs
 }
+
+// SetObs wires the facade to an observability hub: validation becomes
+// a journal event and each batch gets a root trace span covering
+// submission to last terminal job.
+func (s *Service) SetObs(o *obs.Obs) { s.obs = o }
 
 // NewService wires the facade.
 func NewService(eng *sim.Engine, sched *metasched.Scheduler, mailer *Mailer, rng *sim.RNG) *Service {
@@ -76,6 +83,12 @@ func (s *Service) SubmitBatch(sub workload.Submission) (*Batch, error) {
 		Submission: sub,
 		CreatedAt:  s.eng.Now(),
 	}
+	// Root the batch's trace before any job span, and journal the
+	// validation pre-pass (batch-level event, no job ID).
+	s.obs.Root(b.ID)
+	s.obs.Record(b.ID, "", obs.StageValidate, "",
+		fmt.Sprintf("%d replicates for %s", sub.Replicates, sub.UserEmail))
+	sub.BatchTag = b.ID
 	jobs, err := s.sched.SubmitBatch(&sub, s.rng, func(j *metasched.GridJob) { s.jobDone(b, j) })
 	if err != nil {
 		return nil, err
@@ -100,6 +113,7 @@ func (s *Service) jobDone(b *Batch, j *metasched.GridJob) {
 	if st.Done && !b.done {
 		b.done = true
 		b.DoneAt = s.eng.Now()
+		s.obs.Root(b.ID).End()
 		s.mailer.Send(s.eng.Now(), b.Submission.UserEmail,
 			fmt.Sprintf("[Lattice] %s complete", b.ID),
 			fmt.Sprintf("All %d jobs finished (%d completed, %d failed). Results are ready for download.",

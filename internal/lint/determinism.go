@@ -22,6 +22,7 @@ not flagged. Use //lint:allow determinism for justified exceptions.`,
 		"internal/forest",
 		"internal/experiments",
 		"internal/metasched",
+		"internal/obs",
 	},
 	Run: runDeterminism,
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"lattice/internal/lrm"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 )
 
@@ -73,6 +74,8 @@ type queued struct {
 	// remaining is the work left to execute (checkpointing pools
 	// preserve progress across preemptions).
 	remaining float64
+	// queuedAt is when this wait began (submission or last preemption).
+	queuedAt sim.Time
 }
 
 // Pool is a Condor pool LRM.
@@ -83,9 +86,15 @@ type Pool struct {
 	machines []*machineState
 	queue    []*queued
 	stats    lrm.Stats
+	ins      *lrm.Instruments
 	// requeueCounts tracks per-job preemption counts across requeues.
 	requeueCounts map[string]int
 }
+
+// SetObs wires the pool to an observability hub: queue waits,
+// executions, and preemptions become per-resource series and journal
+// events.
+func (p *Pool) SetObs(o *obs.Obs) { p.ins = lrm.NewInstruments(o, p.cfg.Name) }
 
 // New builds a pool and starts every machine's owner-activity process.
 // Machines begin with the owner present and become available after
@@ -141,7 +150,8 @@ func (p *Pool) preempt(m *machineState) {
 	p.eng.Cancel(r.wallEvent)
 	elapsed := p.eng.Now().Sub(r.startedAt)
 	p.stats.Preemptions++
-	q := &queued{job: r.job, requeues: 1, remaining: r.remaining}
+	p.ins.JobPreempted(r.job, "owner returned")
+	q := &queued{job: r.job, requeues: 1, remaining: r.remaining, queuedAt: p.eng.Now()}
 	if p.cfg.Checkpointing {
 		done := elapsed.Seconds() * m.Speed * lrm.ReferenceCellsPerSecond
 		q.remaining -= done
@@ -166,6 +176,7 @@ func (p *Pool) preempt(m *machineState) {
 	p.requeueCounts[r.job.ID] = q.requeues
 	if p.cfg.MaxRequeues > 0 && q.requeues > p.cfg.MaxRequeues {
 		p.stats.Failed++
+		p.ins.JobFailed(r.job)
 		delete(p.requeueCounts, r.job.ID)
 		if r.job.OnFail != nil {
 			r.job.OnFail(p.eng.Now(), "condor: requeue limit exceeded")
@@ -186,7 +197,7 @@ func (p *Pool) Submit(j *lrm.Job) error {
 		return fmt.Errorf("condor: pool %s cannot run MPI jobs", p.cfg.Name)
 	}
 	p.stats.TotalQueued++
-	p.queue = append(p.queue, &queued{job: j, remaining: j.Work})
+	p.queue = append(p.queue, &queued{job: j, remaining: j.Work, queuedAt: p.eng.Now()})
 	if len(p.queue) > p.stats.MaxQueueSeen {
 		p.stats.MaxQueueSeen = len(p.queue)
 	}
@@ -273,12 +284,14 @@ func (p *Pool) start(q *queued, m *machineState) {
 	j := q.job
 	r := &running{job: j, startedAt: p.eng.Now(), remaining: q.remaining, machine: m}
 	m.running = r
+	p.ins.JobStarted(j, p.eng.Now().Sub(q.queuedAt))
 	dur := sim.Duration(q.remaining / (m.Speed * lrm.ReferenceCellsPerSecond))
 	r.doneEvent = p.eng.Schedule(dur, func() {
 		m.running = nil
 		p.eng.Cancel(r.wallEvent)
 		p.stats.Completed++
 		p.stats.CPUSeconds += dur.Seconds() * m.Speed
+		p.ins.JobCompleted(j)
 		delete(p.requeueCounts, j.ID)
 		if j.OnComplete != nil {
 			j.OnComplete(p.eng.Now())
@@ -291,6 +304,7 @@ func (p *Pool) start(q *queued, m *machineState) {
 			p.eng.Cancel(r.doneEvent)
 			p.stats.Failed++
 			p.stats.WastedCPU += j.WallLimit.Seconds() * m.Speed
+			p.ins.JobFailed(j)
 			delete(p.requeueCounts, j.ID)
 			if j.OnFail != nil {
 				j.OnFail(p.eng.Now(), "condor: wall clock limit exceeded")

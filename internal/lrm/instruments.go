@@ -1,0 +1,87 @@
+package lrm
+
+import (
+	"lattice/internal/obs"
+	"lattice/internal/sim"
+)
+
+// Instruments bundles the observability handles local resource
+// managers share: queue-wait and preemption accounting labelled by
+// resource, plus run/preempt journal events. Terminal lifecycle events
+// (complete/fail) are the meta-scheduler's to record — an LRM only
+// sees its local leg of the job, so recording them here would double
+// the journal's terminal count when a job is reissued elsewhere.
+//
+// A nil *Instruments is a valid no-op recorder, so LRMs built outside
+// an assembled grid (unit tests, micro-benchmarks) pay nothing.
+type Instruments struct {
+	o        *obs.Obs
+	resource string
+
+	started   *obs.Counter
+	preempted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	queueWait *obs.Histogram
+}
+
+// NewInstruments registers the per-resource series on o. It returns
+// nil (the no-op recorder) when o is nil.
+func NewInstruments(o *obs.Obs, resource string) *Instruments {
+	if o == nil {
+		return nil
+	}
+	rl := obs.L("resource", resource)
+	return &Instruments{
+		o:        o,
+		resource: resource,
+		started: o.Counter("lattice_lrm_jobs_started_total",
+			"Jobs that began executing on a local resource", rl),
+		preempted: o.Counter("lattice_lrm_preemptions_total",
+			"Executions interrupted by owner activity or node failure", rl),
+		completed: o.Counter("lattice_lrm_jobs_completed_total",
+			"Jobs the local resource finished successfully", rl),
+		failed: o.Counter("lattice_lrm_jobs_failed_total",
+			"Jobs the local resource failed permanently", rl),
+		queueWait: o.Histogram("lattice_lrm_queue_wait_seconds",
+			"Virtual seconds from local submission to first execution", nil, rl),
+	}
+}
+
+// JobStarted records a job beginning execution after waiting in the
+// local queue for wait virtual seconds.
+func (in *Instruments) JobStarted(j *Job, wait sim.Duration) {
+	if in == nil {
+		return
+	}
+	in.started.Inc()
+	in.queueWait.Observe(wait.Seconds())
+	in.o.Record(j.Batch, j.ID, obs.StageRun, in.resource, "")
+}
+
+// JobPreempted records an execution interrupted before finishing
+// (owner reclaimed the node, node crashed); detail says why.
+func (in *Instruments) JobPreempted(j *Job, detail string) {
+	if in == nil {
+		return
+	}
+	in.preempted.Inc()
+	in.o.Record(j.Batch, j.ID, obs.StagePreempt, in.resource, detail)
+}
+
+// JobCompleted counts a local success (metric only — the terminal
+// journal event belongs to the grid level).
+func (in *Instruments) JobCompleted(j *Job) {
+	if in == nil {
+		return
+	}
+	in.completed.Inc()
+}
+
+// JobFailed counts a local permanent failure (metric only, as above).
+func (in *Instruments) JobFailed(j *Job) {
+	if in == nil {
+		return
+	}
+	in.failed.Inc()
+}

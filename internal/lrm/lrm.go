@@ -39,6 +39,10 @@ const (
 type Job struct {
 	// ID is unique across the grid.
 	ID string
+	// Batch names the portal batch the job came through ("" for
+	// direct submissions); observability context that travels with
+	// the job so local events land under the right trace root.
+	Batch string
 	// Work is the job's total computational cost in likelihood cell
 	// updates; runtime on a node is Work / (speed × reference rate).
 	Work float64

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"lattice/internal/lrm"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 )
 
@@ -56,14 +57,21 @@ type Cluster struct {
 	queue   []*lrm.Job
 	running map[string]*running
 	stats   lrm.Stats
+	ins     *lrm.Instruments
+	// queuedAt records local submission times for queue-wait metrics.
+	queuedAt map[string]sim.Time
 }
+
+// SetObs wires the cluster to an observability hub: queue waits and
+// executions become per-resource series and journal events.
+func (c *Cluster) SetObs(o *obs.Obs) { c.ins = lrm.NewInstruments(o, c.cfg.Name) }
 
 // New builds a cluster.
 func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("pbs: cluster has no name")
 	}
-	c := &Cluster{eng: eng, cfg: cfg, running: make(map[string]*running)}
+	c := &Cluster{eng: eng, cfg: cfg, running: make(map[string]*running), queuedAt: make(map[string]sim.Time)}
 	for i, nc := range cfg.Nodes {
 		if nc.Speed <= 0 || nc.Count <= 0 {
 			return nil, fmt.Errorf("pbs: node class %d invalid", i)
@@ -119,6 +127,7 @@ func (c *Cluster) Submit(j *lrm.Job) error {
 	}
 	c.stats.TotalQueued++
 	c.queue = append(c.queue, j)
+	c.queuedAt[j.ID] = c.eng.Now()
 	if len(c.queue) > c.stats.MaxQueueSeen {
 		c.stats.MaxQueueSeen = len(c.queue)
 	}
@@ -131,6 +140,7 @@ func (c *Cluster) Cancel(jobID string) bool {
 	for i, j := range c.queue {
 		if j.ID == jobID {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			delete(c.queuedAt, jobID)
 			return true
 		}
 	}
@@ -191,6 +201,8 @@ func (c *Cluster) start(j *lrm.Job, nodes []*node) {
 	dur := sim.Duration(j.Work / (aggregate * lrm.ReferenceCellsPerSecond))
 	r := &running{job: j, nodes: nodes, startedAt: c.eng.Now()}
 	c.running[j.ID] = r
+	c.ins.JobStarted(j, c.eng.Now().Sub(c.queuedAt[j.ID]))
+	delete(c.queuedAt, j.ID)
 	release := func() {
 		for _, n := range nodes {
 			n.busy = false
@@ -202,6 +214,7 @@ func (c *Cluster) start(j *lrm.Job, nodes []*node) {
 		delete(c.running, j.ID)
 		c.stats.Completed++
 		c.stats.CPUSeconds += dur.Seconds() * aggregate
+		c.ins.JobCompleted(j)
 		if j.OnComplete != nil {
 			j.OnComplete(c.eng.Now())
 		}
@@ -218,6 +231,7 @@ func (c *Cluster) start(j *lrm.Job, nodes []*node) {
 			delete(c.running, j.ID)
 			c.stats.Failed++
 			c.stats.WastedCPU += limit.Seconds() * aggregate
+			c.ins.JobFailed(j)
 			if j.OnFail != nil {
 				j.OnFail(c.eng.Now(), "pbs: wall clock limit exceeded")
 			}

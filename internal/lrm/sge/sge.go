@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"lattice/internal/lrm"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 )
 
@@ -54,14 +55,21 @@ type Cluster struct {
 	queue   []*lrm.Job
 	running map[string]*running
 	stats   lrm.Stats
+	ins     *lrm.Instruments
+	// queuedAt records local submission times for queue-wait metrics.
+	queuedAt map[string]sim.Time
 }
+
+// SetObs wires the cluster to an observability hub: queue waits and
+// executions become per-resource series and journal events.
+func (c *Cluster) SetObs(o *obs.Obs) { c.ins = lrm.NewInstruments(o, c.cfg.Name) }
 
 // New builds a cluster.
 func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("sge: cluster has no name")
 	}
-	c := &Cluster{eng: eng, cfg: cfg, running: make(map[string]*running)}
+	c := &Cluster{eng: eng, cfg: cfg, running: make(map[string]*running), queuedAt: make(map[string]sim.Time)}
 	for i, nc := range cfg.Nodes {
 		if nc.Speed <= 0 || nc.Count <= 0 || nc.Cores <= 0 {
 			return nil, fmt.Errorf("sge: node class %d invalid", i)
@@ -110,6 +118,7 @@ func (c *Cluster) Submit(j *lrm.Job) error {
 	}
 	c.stats.TotalQueued++
 	c.queue = append(c.queue, j)
+	c.queuedAt[j.ID] = c.eng.Now()
 	if len(c.queue) > c.stats.MaxQueueSeen {
 		c.stats.MaxQueueSeen = len(c.queue)
 	}
@@ -122,6 +131,7 @@ func (c *Cluster) Cancel(jobID string) bool {
 	for i, j := range c.queue {
 		if j.ID == jobID {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			delete(c.queuedAt, jobID)
 			return true
 		}
 	}
@@ -168,12 +178,15 @@ func (c *Cluster) start(j *lrm.Job, n *node) {
 	dur := sim.Duration(j.Work / (n.speed * lrm.ReferenceCellsPerSecond))
 	r := &running{job: j, node: n}
 	c.running[j.ID] = r
+	c.ins.JobStarted(j, c.eng.Now().Sub(c.queuedAt[j.ID]))
+	delete(c.queuedAt, j.ID)
 	r.doneEvent = c.eng.Schedule(dur, func() {
 		c.eng.Cancel(r.wallEvent)
 		c.release(r)
 		delete(c.running, j.ID)
 		c.stats.Completed++
 		c.stats.CPUSeconds += dur.Seconds() * n.speed
+		c.ins.JobCompleted(j)
 		if j.OnComplete != nil {
 			j.OnComplete(c.eng.Now())
 		}
@@ -186,6 +199,7 @@ func (c *Cluster) start(j *lrm.Job, n *node) {
 			delete(c.running, j.ID)
 			c.stats.Failed++
 			c.stats.WastedCPU += j.WallLimit.Seconds() * n.speed
+			c.ins.JobFailed(j)
 			if j.OnFail != nil {
 				j.OnFail(c.eng.Now(), "sge: wall clock limit exceeded")
 			}

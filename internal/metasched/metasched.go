@@ -15,6 +15,7 @@ import (
 	"lattice/internal/grid/mds"
 	"lattice/internal/grid/rsl"
 	"lattice/internal/lrm"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 	"lattice/internal/workload"
 )
@@ -150,6 +151,10 @@ type GridJob struct {
 	Desc *rsl.JobDescription
 	Spec *workload.JobSpec
 
+	// Batch is the portal batch the job belongs to ("" for direct
+	// submissions); it parents the job's trace span.
+	Batch string
+
 	Status      JobStatus
 	Resource    string
 	Attempts    int
@@ -163,6 +168,10 @@ type GridJob struct {
 
 	// OnDone fires on terminal status (completed or failed).
 	OnDone func(j *GridJob)
+
+	// span is the job's lifecycle trace span (nil when the scheduler
+	// is not wired to an observability hub).
+	span *obs.Span
 }
 
 // Stats aggregates scheduler behaviour.
@@ -201,6 +210,38 @@ type Scheduler struct {
 	stats     Stats
 	nextSeq   int
 	scanning  bool
+	obs       *obs.Obs
+	ins       schedInstruments
+}
+
+// schedInstruments pre-registers the scheduler's label-less metric
+// handles; per-resource series are created lazily on first placement.
+// All handles are nil-safe, so an un-wired scheduler records nothing.
+type schedInstruments struct {
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	retries   *obs.Counter
+	bundled   *obs.Counter
+	pending   *obs.Gauge
+	placeWait *obs.Histogram
+}
+
+// SetObs wires the scheduler to an observability hub: ranking
+// decisions become per-resource placement counters, placement latency
+// (submit → dispatch, virtual time) feeds a histogram, and every
+// lifecycle transition is journaled and traced.
+func (s *Scheduler) SetObs(o *obs.Obs) {
+	s.obs = o
+	s.ins = schedInstruments{
+		submitted: o.Counter("lattice_sched_jobs_submitted_total", "Grid jobs accepted by the meta-scheduler"),
+		completed: o.Counter("lattice_sched_jobs_completed_total", "Grid jobs that reached completed"),
+		failed:    o.Counter("lattice_sched_jobs_failed_total", "Grid jobs that reached failed"),
+		retries:   o.Counter("lattice_sched_retries_total", "Resource-level failures sent back for rescheduling"),
+		bundled:   o.Counter("lattice_sched_jobs_bundled_total", "Replicates merged away by bundling"),
+		pending:   o.Gauge("lattice_sched_pending_jobs", "Jobs awaiting placement"),
+		placeWait: o.Histogram("lattice_sched_placement_wait_seconds", "Virtual seconds from submit to dispatch", nil),
+	}
 }
 
 // New creates a scheduler reading resource state from idx.

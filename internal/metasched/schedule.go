@@ -6,6 +6,7 @@ import (
 
 	"lattice/internal/grid/rsl"
 	"lattice/internal/lrm"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 	"lattice/internal/workload"
 )
@@ -24,16 +25,22 @@ func (s *Scheduler) Submit(desc *rsl.JobDescription, spec *workload.JobSpec, onD
 	j := &GridJob{
 		Desc:        desc,
 		Spec:        spec,
+		Batch:       desc.BatchID,
 		Status:      StatusPending,
 		SubmittedAt: s.eng.Now(),
 		OnDone:      onDone,
 	}
+	j.span = s.obs.Span(j.Batch, desc.JobID, "job")
+	s.obs.Record(j.Batch, desc.JobID, obs.StageSubmit, "", "")
+	s.ins.submitted.Inc()
 	// Grid overhead: staging and submission cost attached to every
 	// independent job.
 	j.Desc.Work += s.cfg.PerJobOverheadSeconds * lrm.ReferenceCellsPerSecond
 	if s.predictor != nil && spec != nil {
 		if est, err := s.predictor.Predict(spec); err == nil {
 			j.EstimateRefSeconds = est + s.cfg.PerJobOverheadSeconds
+			s.obs.Record(j.Batch, desc.JobID, obs.StageEstimate, "",
+				fmt.Sprintf("%.0f ref-seconds", j.EstimateRefSeconds))
 		}
 	}
 	s.jobs[desc.JobID] = j
@@ -42,6 +49,7 @@ func (s *Scheduler) Submit(desc *rsl.JobDescription, spec *workload.JobSpec, onD
 		s.pending = append(s.pending, j)
 		s.stats.UnplaceableAt++
 	}
+	s.ins.pending.Set(float64(len(s.pending)))
 	return j, nil
 }
 
@@ -84,6 +92,7 @@ func (s *Scheduler) SubmitBatch(sub *workload.Submission, rng *sim.RNG, onDone f
 		s.nextSeq++
 		desc := &rsl.JobDescription{
 			JobID:       fmt.Sprintf("%s-r%04d-%d", sanitizeID(sub.UserEmail), rep, s.nextSeq),
+			BatchID:     sub.BatchTag,
 			Executable:  "garli",
 			Arguments:   []string{"garli.conf"},
 			Count:       1,
@@ -96,6 +105,7 @@ func (s *Scheduler) SubmitBatch(sub *workload.Submission, rng *sim.RNG, onDone f
 		}
 		if n > 1 {
 			s.stats.Bundled += n - 1
+			s.ins.bundled.Add(float64(n - 1))
 		}
 		specCopy := spec
 		j, err := s.Submit(desc, &specCopy, onDone)
@@ -137,6 +147,7 @@ func (s *Scheduler) scanPending() {
 		}
 	}
 	s.pending = still
+	s.ins.pending.Set(float64(len(s.pending)))
 }
 
 // candidates pairs the current MDS snapshot with registered resources.
@@ -279,12 +290,20 @@ func (s *Scheduler) dispatch(j *GridJob, c *candidate) {
 	j.Resource = c.info.Name
 	j.StartedAt = s.eng.Now()
 	j.Attempts++
+	s.obs.Record(j.Batch, d.JobID, obs.StagePlace, c.info.Name,
+		fmt.Sprintf("policy=%s attempt=%d", s.cfg.Policy, j.Attempts))
+	s.obs.Counter("lattice_sched_placements_total",
+		"Placement decisions by resource and ranking policy",
+		obs.L("resource", c.info.Name), obs.L("policy", s.cfg.Policy.String())).Inc()
+	s.ins.placeWait.Observe(float64(s.eng.Now().Sub(j.SubmittedAt)))
+	j.span.Annotate("resource", c.info.Name)
 	name := c.info.Name
 	res := c.res
 	submit := func() {
 		if j.Status != StatusRunning || j.Resource != name {
 			return // cancelled or re-routed during staging
 		}
+		s.obs.Record(j.Batch, d.JobID, obs.StageDispatch, name, "")
 		err := res.adapter.Submit(res.lrm, &d,
 			func() {
 				// Results stage back before the job counts as done.
@@ -336,6 +355,9 @@ func (s *Scheduler) onJobComplete(j *GridJob) {
 	j.Status = StatusCompleted
 	j.CompletedAt = s.eng.Now()
 	s.stats.Completed++
+	s.ins.completed.Inc()
+	s.obs.Record(j.Batch, j.Desc.JobID, obs.StageComplete, j.Resource, "")
+	j.span.End()
 	if j.OnDone != nil {
 		j.OnDone(j)
 	}
@@ -347,20 +369,26 @@ func (s *Scheduler) onJobFail(j *GridJob, resourceName, reason string) {
 	}
 	s.release(j)
 	s.stats.Retries++
+	s.ins.retries.Inc()
 	if j.Attempts > s.cfg.RetryLimit {
 		j.Status = StatusFailed
 		j.CompletedAt = s.eng.Now()
 		j.FailReason = reason
 		s.stats.Failed++
+		s.ins.failed.Inc()
+		s.obs.Record(j.Batch, j.Desc.JobID, obs.StageFail, resourceName, reason)
+		j.span.End()
 		if j.OnDone != nil {
 			j.OnDone(j)
 		}
 		return
 	}
 	// Back to pending; the periodic scan will find a new home.
+	s.obs.Record(j.Batch, j.Desc.JobID, obs.StageReissue, resourceName, reason)
 	j.Status = StatusPending
 	j.Resource = ""
 	s.pending = append(s.pending, j)
+	s.ins.pending.Set(float64(len(s.pending)))
 }
 
 // Cancel aborts a job wherever it is.
@@ -384,6 +412,10 @@ func (s *Scheduler) Cancel(jobID string) bool {
 	j.Status = StatusFailed
 	j.FailReason = "cancelled by user"
 	j.CompletedAt = s.eng.Now()
+	s.ins.failed.Inc()
+	s.obs.Record(j.Batch, j.Desc.JobID, obs.StageFail, "", "cancelled by user")
+	j.span.End()
+	s.ins.pending.Set(float64(len(s.pending)))
 	return true
 }
 

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"sync"
+
+	"lattice/internal/sim"
+)
+
+// Stage names one step of the job lifecycle the journal tracks:
+//
+//	submit → validate → estimate → place → dispatch →
+//	run / preempt / reissue → quorum → complete | fail
+//
+// Components record the stages they own: GSBL validates, the
+// meta-scheduler submits/estimates/places/dispatches and owns the
+// terminal stages, the LRMs record run and preempt, and the BOINC
+// server records reissue and quorum.
+type Stage string
+
+const (
+	StageSubmit   Stage = "submit"
+	StageValidate Stage = "validate"
+	StageEstimate Stage = "estimate"
+	StagePlace    Stage = "place"
+	StageDispatch Stage = "dispatch"
+	StageRun      Stage = "run"
+	StagePreempt  Stage = "preempt"
+	StageReissue  Stage = "reissue"
+	StageQuorum   Stage = "quorum"
+	StageComplete Stage = "complete"
+	StageFail     Stage = "fail"
+)
+
+// Terminal reports whether the stage ends a job's lifecycle.
+func (s Stage) Terminal() bool { return s == StageComplete || s == StageFail }
+
+// Event is one journal entry. At is virtual time.
+type Event struct {
+	At       sim.Time `json:"at"`
+	Batch    string   `json:"batch,omitempty"`
+	Job      string   `json:"job,omitempty"`
+	Stage    Stage    `json:"stage"`
+	Resource string   `json:"resource,omitempty"`
+	Detail   string   `json:"detail,omitempty"`
+}
+
+// Journal is an append-only record of lifecycle events with a running
+// digest. Events are stamped with virtual time at Record, so the
+// journal of a fixed-seed simulation is identical run to run — the
+// digest turns that into a one-line assertion.
+type Journal struct {
+	mu     sync.Mutex
+	clock  sim.Clock
+	hash   hash.Hash
+	events []Event
+}
+
+// NewJournal creates an empty journal on the given virtual clock.
+func NewJournal(clock sim.Clock) *Journal {
+	return &Journal{clock: clock, hash: sha256.New()}
+}
+
+// Record appends one event stamped with the current virtual time.
+func (j *Journal) Record(batch, job string, stage Stage, resource, detail string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ev := Event{At: j.clock.Now(), Batch: batch, Job: job, Stage: stage, Resource: resource, Detail: detail}
+	j.events = append(j.events, ev)
+	// Stream the event into the digest in a canonical framing: fields
+	// separated by unit separators, events by newlines, the timestamp
+	// in shortest round-trip float form.
+	//lint:allow errdrop -- hash.Hash documents that Write never errors
+	j.hash.Write([]byte(formatFloat(float64(ev.At))))
+	for _, f := range []string{ev.Batch, ev.Job, string(ev.Stage), ev.Resource, ev.Detail} {
+		//lint:allow errdrop -- hash.Hash documents that Write never errors
+		j.hash.Write([]byte{0x1f})
+		//lint:allow errdrop -- hash.Hash documents that Write never errors
+		j.hash.Write([]byte(f))
+	}
+	//lint:allow errdrop -- hash.Hash documents that Write never errors
+	j.hash.Write([]byte{'\n'})
+}
+
+// Len reports the number of recorded events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Events returns a copy of the journal in append order.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// Digest returns the hex SHA-256 over every event recorded so far.
+// Two runs of the same seeded simulation must agree on it.
+func (j *Journal) Digest() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return hex.EncodeToString(j.hash.Sum(nil))
+}
+
+// TerminalCounts returns, for every job whose lifecycle the journal
+// saw begin (a submit event with a job ID), how many terminal
+// (complete/fail) events it recorded. Conservation means every
+// submitted job maps to exactly 1. Jobs that only appear in local
+// events — e.g. reference-cluster retraining forks submitted below the
+// grid level — are excluded: the journal never saw them submitted, so
+// it cannot owe them a terminal state.
+func (j *Journal) TerminalCounts() map[string]int {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]int)
+	for _, ev := range j.events {
+		if ev.Job == "" {
+			continue
+		}
+		if ev.Stage == StageSubmit {
+			if _, seen := out[ev.Job]; !seen {
+				out[ev.Job] = 0
+			}
+		}
+		if _, seen := out[ev.Job]; seen && ev.Stage.Terminal() {
+			out[ev.Job]++
+		}
+	}
+	return out
+}

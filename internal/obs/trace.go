@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"sync"
+
+	"lattice/internal/sim"
+)
+
+// Tracer records spans keyed by batch and job ID. Span IDs are
+// assigned in Start order — with the single-threaded simulation engine
+// driving all lifecycle transitions, trace output is deterministic for
+// a fixed seed. Timestamps are virtual time from the tracer's clock.
+type Tracer struct {
+	mu      sync.Mutex
+	clock   sim.Clock
+	nextID  uint64
+	byBatch map[string]*batchTrace
+}
+
+// batchTrace holds one batch's spans in creation order.
+type batchTrace struct {
+	root  *Span
+	spans []*Span
+}
+
+// Span is one timed operation in a job or batch lifecycle.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	batch  string
+	job    string
+	name   string
+	start  sim.Time
+	end    sim.Time
+	ended  bool
+	attrs  []Label
+}
+
+// Attr is a span annotation (re-exported label shape for JSON).
+type Attr = Label
+
+// NewTracer creates a tracer reading virtual time from clock.
+func NewTracer(clock sim.Clock) *Tracer {
+	return &Tracer{clock: clock, byBatch: make(map[string]*batchTrace)}
+}
+
+// Root returns the batch's root span, creating it (started now) on
+// first use. All job spans of the batch parent under it.
+func (t *Tracer) Root(batch string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rootLocked(batch)
+}
+
+func (t *Tracer) rootLocked(batch string) *Span {
+	bt, ok := t.byBatch[batch]
+	if !ok {
+		bt = &batchTrace{}
+		t.byBatch[batch] = bt
+	}
+	if bt.root == nil {
+		t.nextID++
+		bt.root = &Span{tr: t, id: t.nextID, batch: batch, name: "batch", start: t.clock.Now()}
+		bt.spans = append(bt.spans, bt.root)
+	}
+	return bt.root
+}
+
+// Start begins a span for a job, parented under the batch's root span
+// (created implicitly if the batch has none yet).
+func (t *Tracer) Start(batch, job, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := t.rootLocked(batch)
+	return t.startLocked(batch, root.id, job, name)
+}
+
+// Child begins a span nested under parent, inheriting its batch and
+// job identity. Nil-safe: a nil parent yields a nil span.
+func (t *Tracer) Child(parent *Span, name string) *Span {
+	if t == nil || parent == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.startLocked(parent.batch, parent.id, parent.job, name)
+}
+
+func (t *Tracer) startLocked(batch string, parent uint64, job, name string) *Span {
+	bt := t.byBatch[batch]
+	t.nextID++
+	s := &Span{tr: t, id: t.nextID, parent: parent, batch: batch, job: job, name: name, start: t.clock.Now()}
+	bt.spans = append(bt.spans, s)
+	return s
+}
+
+// Annotate attaches a key/value attribute to the span. Nil-safe.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// End closes the span at the current virtual time. Ending twice keeps
+// the first end time. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.tr.clock.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// SpanView is the JSON shape of one span, served by the portal's
+// /trace/{batch} endpoint. Times are virtual seconds.
+type SpanView struct {
+	ID       uint64  `json:"id"`
+	Parent   uint64  `json:"parent,omitempty"`
+	Job      string  `json:"job,omitempty"`
+	Name     string  `json:"name"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+	InFlight bool    `json:"inFlight,omitempty"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+}
+
+// Batch returns the batch's spans in creation order; ok reports
+// whether the batch has a trace at all.
+func (t *Tracer) Batch(batch string) (views []SpanView, ok bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bt, ok := t.byBatch[batch]
+	if !ok {
+		return nil, false
+	}
+	views = make([]SpanView, 0, len(bt.spans))
+	for _, s := range bt.spans {
+		v := SpanView{
+			ID: s.id, Parent: s.parent, Job: s.job, Name: s.name,
+			Start: float64(s.start), End: float64(s.end), InFlight: !s.ended,
+		}
+		if len(s.attrs) > 0 {
+			v.Attrs = append([]Attr(nil), s.attrs...)
+		}
+		views = append(views, v)
+	}
+	return views, true
+}
+
+// NumBatches reports how many batches have traces.
+func (t *Tracer) NumBatches() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byBatch)
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"lattice/internal/gsbl"
+	"lattice/internal/obs"
 	"lattice/internal/phylo"
 	"lattice/internal/sim"
 	"lattice/internal/workload"
@@ -29,6 +30,8 @@ type Portal struct {
 	nextTok int
 	// statusFn, when set (see SetStatusSource), backs /grid/status.
 	statusFn func() any
+	// obsHub, when set (see SetObs), backs /metrics and /trace/.
+	obsHub *obs.Obs
 	// clientErrs counts response bodies that failed to write: the
 	// client disconnected mid-response, which a handler cannot report
 	// anywhere else.
@@ -69,6 +72,12 @@ func (p *Portal) writeJSON(w http.ResponseWriter, v any) {
 // typically the grid's MDS snapshot plus scheduler statistics.
 func (p *Portal) SetStatusSource(fn func() any) { p.statusFn = fn }
 
+// SetObs installs the observability hub behind GET /metrics (text
+// exposition) and GET /trace/{batch} (span tree as JSON). The hub's
+// registry and tracer have their own synchronization, so these
+// handlers do not take the portal mutex and never block the Pump.
+func (p *Portal) SetObs(o *obs.Obs) { p.obsHub = o }
+
 // New builds a portal for the GARLI application.
 func New(eng *sim.Engine, svc *gsbl.Service) *Portal {
 	return &Portal{
@@ -90,7 +99,38 @@ func (p *Portal) Handler() http.Handler {
 	mux.HandleFunc("/myjobs", p.handleMyJobs)
 	mux.HandleFunc("/batch/", p.handleBatch)
 	mux.HandleFunc("/grid/status", p.handleGridStatus)
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/trace/", p.handleTrace)
 	return mux
+}
+
+// handleMetrics serves the metrics registry in text exposition format.
+func (p *Portal) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if p.obsHub == nil {
+		http.Error(w, "observability not configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.writeBody(w, []byte(p.obsHub.Exposition()))
+}
+
+// handleTrace serves /trace/{batch}: the batch's span tree as JSON.
+func (p *Portal) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if p.obsHub == nil || p.obsHub.Tracer == nil {
+		http.Error(w, "observability not configured", http.StatusNotFound)
+		return
+	}
+	batch := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if batch == "" {
+		http.Error(w, "batch ID required", http.StatusBadRequest)
+		return
+	}
+	spans, ok := p.obsHub.Tracer.Batch(batch)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	p.writeJSON(w, map[string]any{"batch": batch, "spans": spans})
 }
 
 // Pump advances the simulated grid by d — the bridge between HTTP

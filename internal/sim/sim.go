@@ -50,6 +50,16 @@ func (t Time) String() string {
 	return fmt.Sprintf("t+%.3fs", float64(t))
 }
 
+// Clock is a read-only view of virtual time — the hook observability
+// and instrumentation layers (internal/obs) read timestamps through,
+// so recorded data is reproducible for a fixed seed. *Engine satisfies
+// it.
+type Clock interface {
+	Now() Time
+}
+
+var _ Clock = (*Engine)(nil)
+
 // Handler is a callback invoked when an event fires. It runs with the
 // engine clock set to the event's time.
 type Handler func()

@@ -19,6 +19,11 @@ type Submission struct {
 	Bootstrap bool
 	// UserEmail identifies the submitter for notifications.
 	UserEmail string
+	// BatchTag, when set by the service layer, names the batch the
+	// submission was accepted as; schedulers stamp it onto the grid
+	// jobs they expand so observability (internal/obs) can parent
+	// traces and journal events by batch.
+	BatchTag string
 }
 
 // MaxReplicates is the portal's per-submission replicate limit.
