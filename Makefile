@@ -4,7 +4,11 @@ GO ?= go
 # parallel population scoring); see EXPERIMENTS.md "Performance".
 BENCH_PATTERN = SearchEval50|Search50|ParallelScore
 
-.PHONY: all build vet lint test race smoke check bench bench-smoke bench-json
+# The PR4 fault-injection overhead benchmarks (fault-off vs fault-on);
+# see EXPERIMENTS.md "Fault injection".
+FAULT_BENCH_PATTERN = FaultScenario
+
+.PHONY: all build vet lint test race smoke faults check bench bench-smoke bench-json bench-json-faults
 
 all: check
 
@@ -45,8 +49,20 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 
+# bench-json-faults regenerates the committed fault-injection
+# overhead artifact (fault-off vs fault-on grid runs).
+bench-json-faults:
+	$(GO) test -run '^$$' -bench '$(FAULT_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+
+# faults runs the fault-injection scenario under the race detector:
+# conservation (every job exactly one terminal state) and same-seed
+# determinism under the default hostile schedule.
+faults:
+	$(GO) test -race -run TestFaultScenarioShape ./internal/experiments/
+
 # check is the full correctness gate: compile, go vet, the project
 # analyzers, the test suite under the race detector (which includes
-# the forest/BOINC concurrency stress tests), and the grid boot smoke
-# that scrapes /metrics over real HTTP.
-check: build vet lint race smoke
+# the forest/BOINC concurrency stress tests), the fault-injection
+# scenario under -race, and the grid boot smoke that scrapes /metrics
+# over real HTTP.
+check: build vet lint race faults smoke

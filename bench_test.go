@@ -171,6 +171,32 @@ func BenchmarkE10PortalScale(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultScenario prices the fault-injection layer: the same
+// 200-replicate batch with no injector wired ("fault-off") and under
+// the default hostile schedule ("fault-on"). The pair is the PR4
+// overhead artifact (BENCH_PR4.json, `make bench-json-faults`).
+func BenchmarkFaultScenario(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		hostile bool
+	}{
+		{"fault-off", false},
+		{"fault-on", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := experiments.FaultOverheadRun(1, c.hostile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Completed+m.Failed != m.Jobs {
+					b.Fatalf("batch not terminal: %+v", m)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE11SystemScale verifies the paper-scale federation claims.
 func BenchmarkE11SystemScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -43,6 +43,8 @@ var registry = []experiment{
 		func(s int64) (fmt.Stringer, error) { return experiments.CheckpointAlternative(s) }},
 	{"perf", "Engine performance — incremental re-evaluation and parallel scoring",
 		func(s int64) (fmt.Stringer, error) { return experiments.EnginePerf(s, 20, 300, 80) }},
+	{"faults", "Fault injection — conservation and determinism under a hostile schedule",
+		func(s int64) (fmt.Stringer, error) { return experiments.FaultScenario(s) }},
 	{"abl-mtry", "Ablation — covariate subsampling (mtry)",
 		func(s int64) (fmt.Stringer, error) { return experiments.AblationMtry(s, 150) }},
 	{"abl-size", "Ablation — forest size",

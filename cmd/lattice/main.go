@@ -49,14 +49,22 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "random seed for the simulated federation")
 		train       = flag.Int("train", 150, "runtime-model training jobs")
 		smoke       = flag.Bool("smoke", false, "boot, run a small workload, self-scrape /metrics, and exit")
+		withFaults  = flag.Bool("faults", false, "run under the default hostile fault schedule (outages, flaps, churn, lost results)")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*seed)
 	cfg.TrainingJobs = *train
+	if *withFaults {
+		cfg.Faults = core.DefaultFaultSchedule()
+		cfg.Scheduler.StabilityAlpha = 0.2
+	}
 	lat, err := core.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *withFaults {
+		fmt.Println("fault injection active: default hostile schedule armed (see /metrics lattice_faults_injected_total)")
 	}
 	if *smoke {
 		return runSmoke(lat)

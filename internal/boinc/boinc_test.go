@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"lattice/internal/lrm"
+	"lattice/internal/obs"
 	"lattice/internal/sim"
 )
 
@@ -96,6 +97,92 @@ func TestDetachingHostsTriggerReissue(t *testing.T) {
 	}
 	if done < 55 {
 		t.Errorf("only %d of 60 workunits completed despite reissue", done)
+	}
+}
+
+// TestChurnBurstReissueCompletesQuorum is the fault-injection
+// contract: a churn burst detaches every host holding an instance of
+// an in-flight quorum-2 workunit, replacements attach, and the unit
+// must still validate via deadline-miss reissue.
+func TestChurnBurstReissueCompletesQuorum(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(3)
+	cfg := DefaultConfig("churnburst")
+	cfg.Quorum = 2
+	s, err := NewServer(eng, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := obs.New(eng)
+	s.SetObs(hub)
+	attach := func(id int) {
+		s.AttachHost(&Host{
+			ID: id, Speed: 1.0, MemoryMB: 4096, Platform: lrm.WindowsX86,
+			MeanOn: 200 * sim.Hour, MeanOff: sim.Minute,
+			BufferSeconds: 8 * 3600, ReportLatency: sim.Minute,
+		})
+	}
+	attach(0)
+	attach(1)
+	done := 0
+	j := wu("burst", 3600)
+	j.DelayBound = 4 * sim.Hour
+	j.OnComplete = func(sim.Time) { done++ }
+	j.OnFail = func(_ sim.Time, r string) { t.Errorf("workunit failed: %s", r) }
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-computation, both volunteers vanish at once; two fresh hosts
+	// join shortly after.
+	eng.Schedule(30*sim.Minute, func() {
+		if n := s.Churn(2); n != 2 {
+			t.Errorf("Churn(2) detached %d hosts", n)
+		}
+		attach(100)
+		attach(101)
+	})
+	eng.RunUntil(sim.Time(10 * sim.Day))
+	if done != 1 {
+		t.Fatalf("workunit completed %d times, want exactly once via reissue", done)
+	}
+	st := s.ProjectStats()
+	if st.Detached != 2 {
+		t.Errorf("Detached = %d, want 2", st.Detached)
+	}
+	if st.ResultsTimedOut < 2 {
+		t.Errorf("ResultsTimedOut = %d, want >= 2 (both lost instances)", st.ResultsTimedOut)
+	}
+	if st.ResultsIssued < 4 {
+		t.Errorf("ResultsIssued = %d, want >= 4 (initial pair + reissued pair)", st.ResultsIssued)
+	}
+	pl := obs.L("project", "churnburst")
+	if v := hub.Counter("lattice_boinc_reissues_total", "", pl).Value(); v < 1 {
+		t.Errorf("reissue counter = %g, want >= 1", v)
+	}
+	if v := hub.Counter("lattice_boinc_deadline_misses_total", "", pl).Value(); v < 2 {
+		t.Errorf("deadline-miss counter = %g, want >= 2", v)
+	}
+	if v := hub.Counter("lattice_boinc_quorum_validations_total", "", pl).Value(); v != 1 {
+		t.Errorf("validation counter = %g, want 1", v)
+	}
+}
+
+// TestChurnSkipsDetachedHosts pins Churn's bookkeeping: it only
+// detaches live hosts and reports how many actually left.
+func TestChurnSkipsDetachedHosts(t *testing.T) {
+	eng, s := testProject(t, 3, DefaultConfig("small"))
+	_ = eng
+	if n := s.Churn(2); n != 2 {
+		t.Fatalf("first Churn(2) = %d, want 2", n)
+	}
+	if n := s.Churn(5); n != 1 {
+		t.Errorf("second Churn(5) = %d, want 1 (only one live host left)", n)
+	}
+	if n := s.Churn(1); n != 0 {
+		t.Errorf("third Churn(1) = %d, want 0", n)
+	}
+	if st := s.ProjectStats(); st.Detached != 3 {
+		t.Errorf("Detached = %d, want 3", st.Detached)
 	}
 }
 

@@ -181,6 +181,36 @@ func (s *Server) NumHosts() int {
 	return len(s.hosts)
 }
 
+// Churn forcibly detaches up to n attached hosts, in attachment
+// order, and returns how many actually left — the fault injector's
+// host-churn burst (a project outage, a popular competing project, a
+// school holiday emptying a lab). Queued work on departing hosts is
+// lost and will be reissued by the server when its deadlines pass,
+// exactly as organic PDetach departures are.
+func (s *Server) Churn(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	left := 0
+	for _, h := range s.hosts {
+		if left >= n {
+			break
+		}
+		if h.detached {
+			continue
+		}
+		h.suspend()
+		h.on = false
+		h.detached = true
+		s.stats.Detached++
+		for _, t := range h.tasks {
+			t.res.lost = true
+		}
+		h.tasks = nil
+		left++
+	}
+	return left
+}
+
 // ActiveHosts returns the number of hosts that have not detached.
 func (s *Server) ActiveHosts() int {
 	s.mu.Lock()

@@ -11,6 +11,7 @@ import (
 
 	"lattice/internal/boinc"
 	"lattice/internal/estimate"
+	"lattice/internal/faults"
 	"lattice/internal/grid/mds"
 	"lattice/internal/gsbl"
 	"lattice/internal/lrm"
@@ -56,6 +57,13 @@ type Config struct {
 	// ReferenceCluster names the homogeneous speed-1.0 cluster used
 	// for continuous retraining forks; empty disables retraining.
 	ReferenceCluster string
+	// Faults, when non-nil, wires the deterministic fault injector
+	// between the scheduler and every resource: submits and results
+	// pass through per-resource wrappers, MDS publications through a
+	// dropping/staling sink, and the schedule's events fire on the
+	// virtual clock. Nil leaves the production path untouched — no
+	// wrapper, no extra RNG stream, bit-identical behaviour.
+	Faults *faults.Schedule
 }
 
 // DefaultConfig builds the paper's federation: four Condor pools, four
@@ -93,6 +101,29 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// DefaultFaultSchedule is a hostile-but-survivable schedule over the
+// DefaultConfig federation: a day-long HPC outage, a flapping Condor
+// pool, a gatekeeper that refuses half of all submissions for a day,
+// an MDS blackout and a staleness burst, a volunteer exodus, and lossy
+// and slow result channels on two pools. Everything the resilience
+// layer exists for, firing in the first simulated week.
+func DefaultFaultSchedule() *faults.Schedule {
+	return &faults.Schedule{
+		Events: []faults.Event{
+			{At: sim.Time(6 * sim.Hour), Kind: faults.KindOutage, Resource: "umd-hpc", Duration: 24 * sim.Hour},
+			{At: sim.Time(2 * sim.Hour), Kind: faults.KindSubmitFail, Resource: "bio-sge", Duration: 24 * sim.Hour, P: 0.5},
+			{At: sim.Time(8 * sim.Hour), Kind: faults.KindMDSDrop, Resource: "bigmem-cluster", Duration: 2 * sim.Hour},
+			{At: sim.Time(4 * sim.Hour), Kind: faults.KindMDSStale, Resource: "umd-condor", Duration: 6 * sim.Hour},
+			{At: sim.Time(12 * sim.Hour), Kind: faults.KindChurn, Resource: "lattice-boinc", Hosts: 60},
+			{At: 0, Kind: faults.KindLostResult, Resource: "si-condor", Duration: 5 * sim.Day, P: 0.25},
+			{At: 0, Kind: faults.KindSlowResult, Resource: "bowie-condor", Duration: 5 * sim.Day, P: 0.5, Delay: 2 * sim.Hour},
+		},
+		Flaps: []faults.Flap{
+			{Resource: "coppin-condor", MeanUp: 12 * sim.Hour, MeanDown: sim.Hour, Until: sim.Time(10 * sim.Day)},
+		},
+	}
+}
+
 // Lattice is a running grid system.
 type Lattice struct {
 	Engine    *sim.Engine
@@ -106,6 +137,9 @@ type Lattice struct {
 	// Obs is the deployment-wide observability hub: metrics, traces,
 	// and the job-lifecycle journal, all on virtual time.
 	Obs *obs.Obs
+	// Faults is the active fault injector (nil unless Config.Faults
+	// was set).
+	Faults *faults.Injector
 
 	rng       *sim.RNG
 	resources map[string]lrm.LRM
@@ -141,16 +175,32 @@ func New(cfg Config) (*Lattice, error) {
 	l.Obs = obs.New(eng)
 	l.Scheduler = metasched.New(eng, idx, cfg.Scheduler)
 	l.Scheduler.SetObs(l.Obs)
+	// The injector and its sink exist only when a fault schedule is
+	// configured: a no-fault deployment takes the exact pre-injector
+	// path (same wiring, same RNG stream draws, bit-identical runs).
+	var pubSink mds.Sink = idx
+	if cfg.Faults != nil {
+		l.Faults = faults.NewInjector(eng, rng.Stream("faults"))
+		l.Faults.SetObs(l.Obs)
+		pubSink = l.Faults.Sink(idx)
+	}
 	for _, rs := range cfg.Resources {
-		target, err := l.buildResource(rs)
+		inner, err := l.buildResource(rs)
 		if err != nil {
 			return nil, err
 		}
-		if w, ok := target.(interface{ SetObs(*obs.Obs) }); ok {
+		if w, ok := inner.(interface{ SetObs(*obs.Obs) }); ok {
 			w.SetObs(l.Obs)
 		}
+		target := inner
+		if l.Faults != nil {
+			target = l.Faults.Wrap(inner)
+			if rs.Kind == "boinc" {
+				l.Faults.AttachChurner(rs.Name, l.Boinc)
+			}
+		}
 		l.resources[rs.Name] = target
-		if _, err := mds.StartProvider(eng, idx, target, cfg.ProviderPeriod); err != nil {
+		if _, err := mds.StartProvider(eng, pubSink, target, cfg.ProviderPeriod); err != nil {
 			return nil, err
 		}
 		speed := rs.Speed
@@ -158,6 +208,11 @@ func New(cfg Config) (*Lattice, error) {
 			speed = 1
 		}
 		if err := l.Scheduler.Register(target, speed); err != nil {
+			return nil, err
+		}
+	}
+	if l.Faults != nil {
+		if err := l.Faults.Apply(*cfg.Faults); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lattice/internal/boinc"
+	"lattice/internal/core"
+	"lattice/internal/faults"
+	"lattice/internal/metasched"
+	"lattice/internal/phylo"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// FaultResult is the fault-injection experiment: the same
+// 200-replicate submission through the default federation on a calm
+// grid and under the default hostile schedule, twice with the same
+// seed. It proves the two invariants the resilience layer owes the
+// rest of the system — conservation (every job reaches exactly one
+// terminal state, faults or not) and determinism (two same-seed
+// hostile runs are bit-identical).
+type FaultResult struct {
+	Jobs int
+	// Conserved is true when every journaled job of the hostile run
+	// reached exactly one terminal state.
+	Conserved bool
+	// DigestsEqual is true when the two same-seed hostile runs
+	// produced identical journal digests and expositions.
+	DigestsEqual bool
+	// Digest is the hostile run's journal digest.
+	Digest string
+	// Injected counts the faults the schedule actually fired, by kind.
+	Injected map[faults.Kind]int
+	// Results holds the calm ("baseline") and hostile ("faulted")
+	// run metrics.
+	Results map[string]BatchMetrics
+	Rows    [][]string
+}
+
+// faultOutcome is one grid run's collected evidence.
+type faultOutcome struct {
+	m        BatchMetrics
+	digest   string
+	terminal map[string]int
+	jobs     int
+	sched    metasched.Stats
+	injected map[faults.Kind]int
+}
+
+// faultRun pushes the fixed 200-replicate submission through a
+// DefaultConfig federation, optionally under a fault schedule, and
+// runs until the batch is terminal.
+func faultRun(seed int64, sch *faults.Schedule) (*faultOutcome, error) {
+	cfg := core.DefaultConfig(seed)
+	cfg.TrainingJobs = 60
+	cfg.Scheduler.BundleTargetSeconds = 0 // one grid job per replicate
+	cfg.Scheduler.StabilityAlpha = 0.2    // learn stability from observed failures
+	cfg.Faults = sch
+	for i := range cfg.Resources {
+		if cfg.Resources[i].Kind == "boinc" {
+			pop := boinc.DefaultPopulation(150)
+			cfg.Resources[i].Population = &pop
+		}
+	}
+	lat, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Hour-scale jobs: the batch stays in flight for days, so every
+	// window of the hostile schedule lands on running work.
+	sub := workload.Submission{
+		Spec: workload.JobSpec{
+			DataType: phylo.Nucleotide, SubstModel: "GTR",
+			RateHet: phylo.RateGamma, NumRateCats: 4, GammaShape: 0.5,
+			NumTaxa: 48, SeqLength: 2500, SearchReps: 24,
+			StartingTree: phylo.StartStepwise, AttachmentsPerTaxon: 30, Seed: 9,
+		},
+		Replicates: 200,
+		Bootstrap:  true,
+		UserEmail:  "faults@example.edu",
+	}
+	batch, err := lat.SubmitSubmission(sub)
+	if err != nil {
+		return nil, err
+	}
+	start := lat.Engine.Now()
+	deadline := start.Add(90 * sim.Day)
+	for lat.Engine.Now() < deadline {
+		lat.Run(6 * sim.Hour)
+		if st, err := lat.Service.Status(batch.ID); err == nil && st.Done {
+			break
+		}
+	}
+	st, err := lat.Service.Status(batch.ID)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Done {
+		return nil, fmt.Errorf("faults: batch not terminal after 90 days (%d/%d done)",
+			st.Completed+st.Failed, st.Total)
+	}
+	out := &faultOutcome{
+		digest:   lat.Obs.Journal.Digest(),
+		terminal: lat.Obs.Journal.TerminalCounts(),
+		jobs:     len(batch.Jobs),
+		sched:    lat.Scheduler.Stats(),
+	}
+	if lat.Faults != nil {
+		out.injected = lat.Faults.Injected()
+	}
+	var lastDone sim.Time
+	var turnSum sim.Duration
+	for _, j := range batch.Jobs {
+		if j.Status == metasched.StatusCompleted {
+			if j.CompletedAt > lastDone {
+				lastDone = j.CompletedAt
+			}
+			turnSum += j.CompletedAt.Sub(j.SubmittedAt)
+		}
+	}
+	out.m = BatchMetrics{
+		Jobs:      st.Total,
+		Completed: st.Completed,
+		Failed:    st.Failed,
+	}
+	if st.Completed > 0 {
+		out.m.Makespan = lastDone.Sub(start)
+		out.m.MeanTurnround = turnSum / sim.Duration(st.Completed)
+	}
+	out.m.Exposition = lat.Obs.Exposition()
+	return out, nil
+}
+
+// FaultOverheadRun executes one scenario grid run — calm when hostile
+// is false, under the default schedule when true — so the benchmark
+// suite can price the injector (the fault-off vs fault-on artifact).
+func FaultOverheadRun(seed int64, hostile bool) (BatchMetrics, error) {
+	var sch *faults.Schedule
+	if hostile {
+		sch = core.DefaultFaultSchedule()
+	}
+	o, err := faultRun(seed, sch)
+	if err != nil {
+		return BatchMetrics{}, err
+	}
+	return o.m, nil
+}
+
+// FaultScenario runs the fault-injection experiment: a calm baseline,
+// then the default hostile schedule twice with the same seed.
+func FaultScenario(seed int64) (*FaultResult, error) {
+	base, err := faultRun(seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	hostile, err := faultRun(seed, core.DefaultFaultSchedule())
+	if err != nil {
+		return nil, err
+	}
+	again, err := faultRun(seed, core.DefaultFaultSchedule())
+	if err != nil {
+		return nil, err
+	}
+	r := &FaultResult{
+		Jobs:     hostile.jobs,
+		Digest:   hostile.digest,
+		Injected: hostile.injected,
+		Results: map[string]BatchMetrics{
+			"baseline": base.m,
+			"faulted":  hostile.m,
+		},
+	}
+	r.Conserved = len(hostile.terminal) >= hostile.jobs
+	for _, n := range hostile.terminal {
+		if n != 1 {
+			r.Conserved = false
+			break
+		}
+	}
+	r.DigestsEqual = hostile.digest == again.digest &&
+		hostile.m.Exposition == again.m.Exposition
+	row := func(name string, o *faultOutcome) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%d", o.m.Jobs),
+			fmt.Sprintf("%d", o.m.Completed),
+			fmt.Sprintf("%d", o.m.Failed),
+			hours(o.m.Makespan),
+			fmt.Sprintf("%d", o.sched.Requeued),
+			fmt.Sprintf("%d", o.sched.SubmitRetries),
+			fmt.Sprintf("%d", o.sched.Retries),
+		}
+	}
+	r.Rows = [][]string{row("baseline", base), row("faulted", hostile)}
+	return r, nil
+}
+
+func (r *FaultResult) String() string {
+	s := "Fault injection — one 200-replicate submission, calm vs hostile schedule\n"
+	s += table([]string{"config", "jobs", "completed", "failed", "makespan", "requeues", "submit-retries", "retries"}, r.Rows)
+	s += "injected:"
+	for _, k := range []faults.Kind{
+		faults.KindOutage, faults.KindSubmitFail, faults.KindMDSDrop, faults.KindMDSStale,
+		faults.KindChurn, faults.KindSlowResult, faults.KindLostResult,
+	} {
+		if n := r.Injected[k]; n > 0 {
+			s += fmt.Sprintf(" %s=%d", k, n)
+		}
+	}
+	s += "\n"
+	s += fmt.Sprintf("conservation: every job exactly one terminal state: %s\n", pass(r.Conserved))
+	s += fmt.Sprintf("determinism: same-seed hostile digests identical: %s\n", pass(r.DigestsEqual))
+	return s
+}
+
+func pass(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

@@ -83,6 +83,13 @@ func (x *Index) Offline() []string {
 	return out
 }
 
+// Sink consumes resource-state publications. *Index satisfies it
+// directly; the fault injector wraps one to model publication drops
+// and staleness bursts without the provider noticing.
+type Sink interface {
+	Publish(info lrm.Info)
+}
+
 // Provider is a scheduler provider: it polls one local resource and
 // publishes its Info into an index on a fixed period (the Condor
 // provider of the paper parses condor_status the same way).
@@ -90,15 +97,15 @@ type Provider struct {
 	stop func()
 }
 
-// StartProvider begins publishing src's state into idx every period.
+// StartProvider begins publishing src's state into dst every period.
 // The first publication happens immediately.
-func StartProvider(eng *sim.Engine, idx *Index, src lrm.LRM, period sim.Duration) (*Provider, error) {
+func StartProvider(eng *sim.Engine, dst Sink, src lrm.LRM, period sim.Duration) (*Provider, error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("mds: provider period must be positive")
 	}
-	idx.Publish(src.Info())
+	dst.Publish(src.Info())
 	stop := eng.Every(period, func() {
-		idx.Publish(src.Info())
+		dst.Publish(src.Info())
 	})
 	return &Provider{stop: stop}, nil
 }

@@ -129,6 +129,71 @@ func TestOfflineResourceDisappearsFromCentral(t *testing.T) {
 	eng.RunUntil(sim.Time(35 * sim.Minute))
 }
 
+// TestCentralExpiryWithLiveDownstream covers the split-brain case: the
+// downstream provider keeps its local index fresh, but the propagation
+// link to the central index dies. The central entry must age out on
+// its own TTL even though the resource is alive and publishing.
+func TestCentralExpiryWithLiveDownstream(t *testing.T) {
+	eng := sim.NewEngine()
+	local, _ := NewIndex(eng, 4*sim.Minute)
+	central, _ := NewIndex(eng, 4*sim.Minute)
+	StartProvider(eng, local, &fakeLRM{name: "alive", free: 3}, sim.Minute)
+	p, err := StartPropagator(eng, local, central, sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(20*sim.Minute, func() { p.Stop() }) // the link dies
+	eng.Schedule(30*sim.Minute, func() {
+		if _, ok := local.Lookup("alive"); !ok {
+			t.Error("local entry expired although the provider kept publishing")
+		}
+		if _, ok := central.Lookup("alive"); ok {
+			t.Error("central entry still fresh 10 min after the propagation link died")
+		}
+		if off := central.Offline(); len(off) != 1 || off[0] != "alive" {
+			t.Errorf("central Offline() = %v, want [alive]", off)
+		}
+	})
+	eng.RunUntil(sim.Time(35 * sim.Minute))
+}
+
+// TestSnapshotDeterministicUnderExpiry pins Snapshot's contract while
+// entries age out mid-stream: always name-sorted, and only fresh
+// entries appear — the property the scheduler's deterministic
+// placement loop rests on.
+func TestSnapshotDeterministicUnderExpiry(t *testing.T) {
+	eng := sim.NewEngine()
+	idx, _ := NewIndex(eng, 10*sim.Minute)
+	// Publish in anti-alphabetical order with staggered times so each
+	// expires at a different moment.
+	names := []string{"zeta", "mid", "alpha"}
+	for i, n := range names {
+		n := n
+		eng.Schedule(sim.Duration(i)*3*sim.Minute, func() {
+			idx.Publish(lrm.Info{Name: n})
+		})
+	}
+	check := func(at sim.Duration, want []string) {
+		eng.Schedule(at, func() {
+			snap := idx.Snapshot()
+			if len(snap) != len(want) {
+				t.Errorf("t=%v: snapshot has %d entries, want %v", at, len(snap), want)
+				return
+			}
+			for i, e := range snap {
+				if e.Info.Name != want[i] {
+					t.Errorf("t=%v: snapshot[%d] = %s, want %s", at, i, e.Info.Name, want[i])
+				}
+			}
+		})
+	}
+	check(7*sim.Minute, []string{"alpha", "mid", "zeta"})  // all fresh, sorted
+	check(11*sim.Minute, []string{"alpha", "mid"})         // zeta (t=0) expired
+	check(14*sim.Minute, []string{"alpha"})                // mid (t=3m) expired
+	check(17*sim.Minute, []string{})                       // all aged out
+	eng.RunUntil(sim.Time(20 * sim.Minute))
+}
+
 func TestValidation(t *testing.T) {
 	eng := sim.NewEngine()
 	if _, err := NewIndex(eng, 0); err == nil {

@@ -23,6 +23,7 @@ not flagged. Use //lint:allow determinism for justified exceptions.`,
 		"internal/experiments",
 		"internal/metasched",
 		"internal/obs",
+		"internal/faults",
 	},
 	Run: runDeterminism,
 }

@@ -23,6 +23,7 @@ comparison with //lint:allow floatcmp.`,
 		"internal/phylo",
 		"internal/estimate",
 		"internal/forest",
+		"internal/faults",
 	},
 	Run: runFloatCmp,
 }

@@ -126,36 +126,54 @@ func TestAnalyzerFixtures(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
 			findings := runFixture(t, tc.analyzer, tc.fixture)
-			wants := parseWants(t, tc.fixture)
-			if len(wants) == 0 {
-				t.Fatalf("fixture %s has no want comments", tc.fixture)
-			}
-
-			matched := make([]bool, len(findings))
-			for _, w := range wants {
-				found := false
-				for i, f := range findings {
-					if matched[i] || filepath.Base(f.File) != w.file || f.Line != w.line {
-						continue
-					}
-					if !strings.Contains(f.Message, w.substr) {
-						t.Errorf("%s:%d: finding %q does not contain want %q", w.file, w.line, f.Message, w.substr)
-					}
-					matched[i] = true
-					found = true
-					break
-				}
-				if !found {
-					t.Errorf("%s:%d: no finding for want %q", w.file, w.line, w.substr)
-				}
-			}
-			for i, f := range findings {
-				if !matched[i] {
-					t.Errorf("unexpected finding %s:%d: %s", filepath.Base(f.File), f.Line, f.Message)
-				}
-			}
+			matchWants(t, tc.fixture, findings)
 		})
 	}
+}
+
+// matchWants fails on any missed want, any finding with no want, and
+// any finding/want message mismatch in the named fixture.
+func matchWants(t *testing.T, fixture string, findings []Finding) {
+	t.Helper()
+	wants := parseWants(t, fixture)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", fixture)
+	}
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || filepath.Base(f.File) != w.file || f.Line != w.line {
+				continue
+			}
+			if !strings.Contains(f.Message, w.substr) {
+				t.Errorf("%s:%d: finding %q does not contain want %q", w.file, w.line, f.Message, w.substr)
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: no finding for want %q", w.file, w.line, w.substr)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding %s:%d: %s", filepath.Base(f.File), f.Line, f.Message)
+		}
+	}
+}
+
+// TestFaultsInjectorFixture proves the analyzers scoped (or newly
+// scoped) to internal/faults actually fire on injector-shaped code:
+// determinism, errdrop and floatcmp findings over one combined
+// fixture, with the good-file look-alikes staying clean.
+func TestFaultsInjectorFixture(t *testing.T) {
+	var findings []Finding
+	for _, a := range []*Analyzer{Determinism, ErrDrop, FloatCmp} {
+		findings = append(findings, runFixture(t, a, "faultsinj")...)
+	}
+	matchWants(t, "faultsinj", findings)
 }
 
 // TestGoodFixturesClean pins the false-positive guarantee explicitly:
@@ -186,11 +204,13 @@ func TestAnalyzerScope(t *testing.T) {
 		{Determinism, "lattice/internal/forest", true},
 		{Determinism, "lattice/internal/experiments", true},
 		{Determinism, "lattice/internal/metasched", true},
+		{Determinism, "lattice/internal/faults", true},
 		{Determinism, "lattice/internal/portal", false},
 		{Determinism, "lattice/cmd/latticelint", false},
 		{FloatCmp, "lattice/internal/phylo", true},
 		{FloatCmp, "lattice/internal/estimate", true},
 		{FloatCmp, "lattice/internal/forest", true},
+		{FloatCmp, "lattice/internal/faults", true},
 		{FloatCmp, "lattice/internal/gsbl", false},
 		{ErrDrop, "lattice/internal/portal", true},
 		{ErrDrop, "lattice/examples/portalrun", true},

@@ -1,0 +1,53 @@
+// Fixture: fault-injector-shaped constructs that the analyzers newly
+// scoped to internal/faults must flag — nondeterminism in the fault
+// schedule, dropped submit errors, and exact probability comparisons.
+package faultsinj
+
+import (
+	"errors"
+	"time"
+)
+
+// target is a stand-in for the injector's wrapped resource.
+type target struct{ name string }
+
+func (t *target) Submit() error { return errors.New(t.name + " is down") }
+
+// DrainAll cancels in-flight work per resource — map iteration
+// feeding an ordered sink, which would make the kill order (and so
+// the whole downstream journal) depend on map layout.
+func DrainAll(targets map[string]*target) []string {
+	var order []string
+	for name := range targets { // want: range over map feeds append
+		order = append(order, name)
+	}
+	return order
+}
+
+// StampFault timestamps an injection with the wall clock instead of
+// the sim clock — the canonical determinism bug.
+func StampFault() time.Time {
+	return time.Now() // want: time.Now reads the wall clock
+}
+
+// FireAndForget injects a submit failure but drops the resource's
+// refusal on the floor, so the scheduler never hears about it.
+func FireAndForget(t *target) {
+	t.Submit() // want: returns an error that is discarded
+}
+
+// Blanked swallows the refusal through the blank identifier.
+func Blanked(t *target) {
+	_ = t.Submit() // want: error value is assigned to the blank identifier
+}
+
+// WindowOpen gates a probabilistic fault window on exact float
+// equality — rounding makes the window silently never open.
+func WindowOpen(p, threshold float64) bool {
+	return p == threshold // want: floating-point values compared with ==
+}
+
+// WindowClosed is the != twin.
+func WindowClosed(p, threshold float64) bool {
+	return p != threshold // want: floating-point values compared with !=
+}

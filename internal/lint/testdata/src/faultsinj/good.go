@@ -1,0 +1,53 @@
+// Fixture: injector-shaped look-alikes the analyzers must NOT flag —
+// the sanctioned deterministic forms of everything bad.go does wrong.
+package faultsinj
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// DrainSorted is the deterministic kill order: collect, sort, then
+// act. The map range feeds only the collection that is sorted before
+// use, annotated like internal/faults itself would.
+func DrainSorted(targets map[string]*target) []string {
+	var order []string
+	//lint:allow determinism -- collected names are sorted before use
+	for name := range targets {
+		order = append(order, name)
+	}
+	sort.Strings(order)
+	return order
+}
+
+// SeededFlap draws outage lengths from a seeded local source — the
+// sanctioned replacement for the global math/rand functions.
+func SeededFlap(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.ExpFloat64()
+}
+
+// SubmitChecked handles the refusal instead of dropping it.
+func SubmitChecked(t *target) error {
+	if err := t.Submit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WindowArmed guards against the exact-zero sentinel — IEEE-exact and
+// exempt from the floatcmp rule.
+func WindowArmed(p float64) bool {
+	return p != 0
+}
+
+// Counting map iteration is commutative and not flagged.
+func ActiveWindows(ps map[string]float64) int {
+	n := 0
+	for _, p := range ps {
+		if p > 0 {
+			n++
+		}
+	}
+	return n
+}

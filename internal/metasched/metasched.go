@@ -104,6 +104,27 @@ type Config struct {
 	// schedule each of these batches to a different grid computing
 	// resource".
 	MaxBacklogFactor float64
+	// SubmitRetryBase is the initial backoff before a job whose
+	// gatekeeper submission failed is retried; each further failure
+	// doubles it, capped at SubmitRetryMax. 0 restores the legacy
+	// behaviour (straight back to the pending queue for the next
+	// periodic scan).
+	SubmitRetryBase sim.Duration
+	// SubmitRetryMax caps the exponential submit-retry backoff
+	// (0 = uncapped).
+	SubmitRetryMax sim.Duration
+	// StabilityAlpha enables the learned per-resource stability score:
+	// every observed completion (1) or resource-level failure (0)
+	// feeds an EWMA with this weight, and the score replaces static
+	// config in both the gating rule and the completion-time ranking.
+	// 0 disables learning and preserves the static Info.Stable
+	// behaviour exactly.
+	StabilityAlpha float64
+	// StabilityFloor is the learned-stability value below which a
+	// resource is treated as unstable by the gating rule even when its
+	// static Info.Stable flag says otherwise. Only meaningful with
+	// StabilityAlpha > 0.
+	StabilityFloor float64
 }
 
 // DefaultConfig mirrors the paper's operating point.
@@ -118,6 +139,9 @@ func DefaultConfig() Config {
 		RetryLimit:            5,
 		RescanInterval:        2 * sim.Minute,
 		StageBandwidthMBps:    50,
+		SubmitRetryBase:       30 * sim.Second,
+		SubmitRetryMax:        30 * sim.Minute,
+		StabilityFloor:        0.5,
 	}
 }
 
@@ -169,6 +193,13 @@ type GridJob struct {
 	// OnDone fires on terminal status (completed or failed).
 	OnDone func(j *GridJob)
 
+	// disrupted marks jobs that hit a fault-induced setback (death
+	// requeue, gatekeeper failure, a "faults:" resource failure);
+	// disruptedAt is the first such moment, feeding the recovery
+	// latency histogram when the job finally completes.
+	disrupted   bool
+	disruptedAt sim.Time
+
 	// span is the job's lifecycle trace span (nil when the scheduler
 	// is not wired to an observability hub).
 	span *obs.Span
@@ -182,6 +213,8 @@ type Stats struct {
 	Retries       int
 	Bundled       int // jobs merged away by replicate bundling
 	UnplaceableAt int // scheduling passes that left jobs pending
+	Requeued      int // in-flight jobs requeued after resource death
+	SubmitRetries int // gatekeeper submit failures sent to backoff
 }
 
 // resource is a registered target.
@@ -196,6 +229,10 @@ type resource struct {
 	// all sees the same stale "free" snapshot and lands on one
 	// resource.
 	active int
+	// stability is the learned reliability score in [0,1], an EWMA of
+	// observed per-job outcomes (1 = never seen to fail). It only
+	// moves, and only matters, when Config.StabilityAlpha > 0.
+	stability float64
 }
 
 // Scheduler is the grid-level scheduler.
@@ -205,13 +242,17 @@ type Scheduler struct {
 	cfg       Config
 	predictor Predictor
 	resources map[string]*resource
-	pending   []*GridJob
-	jobs      map[string]*GridJob
-	stats     Stats
-	nextSeq   int
-	scanning  bool
-	obs       *obs.Obs
-	ins       schedInstruments
+	// order lists resource names in registration order (which core
+	// fixes by config order) — the deterministic iteration sequence
+	// for the offline sweep.
+	order    []string
+	pending  []*GridJob
+	jobs     map[string]*GridJob
+	stats    Stats
+	nextSeq  int
+	scanning bool
+	obs      *obs.Obs
+	ins      schedInstruments
 }
 
 // schedInstruments pre-registers the scheduler's label-less metric
@@ -254,7 +295,10 @@ func New(eng *sim.Engine, idx *mds.Index, cfg Config) *Scheduler {
 		jobs:      make(map[string]*GridJob),
 	}
 	if cfg.RescanInterval > 0 {
-		eng.Every(cfg.RescanInterval, s.scanPending)
+		eng.Every(cfg.RescanInterval, func() {
+			s.checkOffline()
+			s.scanPending()
+		})
 	}
 	return s
 }
@@ -279,7 +323,8 @@ func (s *Scheduler) Register(target lrm.LRM, speed float64) error {
 	if _, dup := s.resources[target.Name()]; dup {
 		return fmt.Errorf("metasched: resource %s already registered", target.Name())
 	}
-	s.resources[target.Name()] = &resource{lrm: target, adapter: ad, speed: speed}
+	s.resources[target.Name()] = &resource{lrm: target, adapter: ad, speed: speed, stability: 1}
+	s.order = append(s.order, target.Name())
 	return nil
 }
 
@@ -303,6 +348,47 @@ func (s *Scheduler) Speed(name string) (float64, bool) {
 		return 0, false
 	}
 	return r.speed, true
+}
+
+// SetStability overrides a resource's stability score in [0,1] —
+// manual calibration writes through the same field the learned EWMA
+// updates, so an operator's prior and observed behaviour compose.
+func (s *Scheduler) SetStability(name string, stability float64) error {
+	r, ok := s.resources[name]
+	if !ok {
+		return fmt.Errorf("metasched: unknown resource %s", name)
+	}
+	if stability < 0 || stability > 1 {
+		return fmt.Errorf("metasched: stability must be in [0,1], got %g", stability)
+	}
+	r.stability = stability
+	return nil
+}
+
+// Stability returns a resource's current stability score.
+func (s *Scheduler) Stability(name string) (float64, bool) {
+	r, ok := s.resources[name]
+	if !ok {
+		return 0, false
+	}
+	return r.stability, true
+}
+
+// observeStability feeds one job outcome on a resource into the
+// learned stability EWMA. A no-op unless learning is enabled.
+func (s *Scheduler) observeStability(name string, ok bool) {
+	if s.cfg.StabilityAlpha <= 0 {
+		return
+	}
+	r, found := s.resources[name]
+	if !found {
+		return
+	}
+	v := 0.0
+	if ok {
+		v = 1
+	}
+	r.stability = (1-s.cfg.StabilityAlpha)*r.stability + s.cfg.StabilityAlpha*v
 }
 
 // Job returns the tracked record for a job ID.

@@ -3,6 +3,8 @@ package metasched
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"lattice/internal/grid/rsl"
 	"lattice/internal/lrm"
@@ -193,8 +195,15 @@ func (s *Scheduler) eligible(j *GridJob, c candidate) bool {
 	}
 	// Stability gating (PolicyFull): jobs with long speed-scaled
 	// estimates never go to unstable resources. Jobs without
-	// estimates are conservatively allowed (pre-estimate era).
-	if s.cfg.Policy == PolicyFull && !c.info.Stable && j.EstimateRefSeconds > 0 {
+	// estimates are conservatively allowed (pre-estimate era). With
+	// learning enabled, a resource whose observed stability has sunk
+	// below the floor is gated like a statically-unstable one — the
+	// EWMA replaces config as the source of truth.
+	unstable := !c.info.Stable
+	if s.cfg.StabilityAlpha > 0 && c.res.stability < s.cfg.StabilityFloor {
+		unstable = true
+	}
+	if s.cfg.Policy == PolicyFull && unstable && j.EstimateRefSeconds > 0 {
 		scaled := sim.Duration(j.EstimateRefSeconds / c.res.speed)
 		if s.cfg.DisableSpeedScaledGate {
 			scaled = sim.Duration(j.EstimateRefSeconds)
@@ -234,7 +243,19 @@ func (s *Scheduler) score(c candidate, j *GridJob) float64 {
 	}
 	waitSeconds := load * est / (total * c.res.speed)
 	execSeconds := est / c.res.speed
-	return -(waitSeconds + execSeconds)
+	expected := waitSeconds + execSeconds
+	// With learning enabled, deflate by observed stability: a resource
+	// seen failing half its jobs effectively doubles its expected
+	// completion time (retries are not free), pushing work toward
+	// reliable resources without hard-excluding the flaky one.
+	if s.cfg.StabilityAlpha > 0 {
+		st := c.res.stability
+		if st < 0.05 {
+			st = 0.05
+		}
+		expected /= st
+	}
+	return -expected
 }
 
 // tryPlace attempts to schedule the job now; it reports success.
@@ -299,9 +320,14 @@ func (s *Scheduler) dispatch(j *GridJob, c *candidate) {
 	j.span.Annotate("resource", c.info.Name)
 	name := c.info.Name
 	res := c.res
+	// attempt pins this dispatch's identity: callbacks arriving after
+	// the job was requeued and re-dispatched (a cancelled copy limping
+	// home, a slow result from a dead resource) carry a stale attempt
+	// and are ignored.
+	attempt := j.Attempts
 	submit := func() {
-		if j.Status != StatusRunning || j.Resource != name {
-			return // cancelled or re-routed during staging
+		if j.Status != StatusRunning || j.Resource != name || j.Attempts != attempt {
+			return // cancelled, requeued or re-routed during staging
 		}
 		s.obs.Record(j.Batch, d.JobID, obs.StageDispatch, name, "")
 		err := res.adapter.Submit(res.lrm, &d,
@@ -309,19 +335,15 @@ func (s *Scheduler) dispatch(j *GridJob, c *candidate) {
 				// Results stage back before the job counts as done.
 				out := s.stageDelay(d.OutputMB)
 				if out > 0 {
-					s.eng.Schedule(out, func() { s.onJobComplete(j) })
+					s.eng.Schedule(out, func() { s.onJobComplete(j, attempt) })
 				} else {
-					s.onJobComplete(j)
+					s.onJobComplete(j, attempt)
 				}
 			},
-			func(reason string) { s.onJobFail(j, name, reason) },
+			func(reason string) { s.onJobFail(j, name, reason, attempt) },
 		)
 		if err != nil {
-			// Local validation rejected it; try elsewhere on next scan.
-			s.release(j)
-			j.Status = StatusPending
-			j.Resource = ""
-			s.pending = append(s.pending, j)
+			s.submitFailed(j, name, err)
 		}
 	}
 	c.res.active++
@@ -347,11 +369,112 @@ func (s *Scheduler) release(j *GridJob) {
 	}
 }
 
-func (s *Scheduler) onJobComplete(j *GridJob) {
-	if j.Status != StatusRunning {
+// submitFailed handles a gatekeeper submit error: with a backoff
+// configured the job retries on its own exponential timer (base·2^k,
+// capped), otherwise it falls back to the pending queue for the next
+// periodic scan.
+func (s *Scheduler) submitFailed(j *GridJob, name string, err error) {
+	s.release(j)
+	j.Status = StatusPending
+	j.Resource = ""
+	s.markDisrupted(j)
+	if s.cfg.SubmitRetryBase <= 0 {
+		// Legacy path: try elsewhere on next scan.
+		s.pending = append(s.pending, j)
+		return
+	}
+	s.stats.SubmitRetries++
+	backoff := s.cfg.SubmitRetryBase
+	for i := 1; i < j.Attempts; i++ {
+		backoff *= 2
+		if s.cfg.SubmitRetryMax > 0 && backoff >= s.cfg.SubmitRetryMax {
+			backoff = s.cfg.SubmitRetryMax
+			break
+		}
+	}
+	s.obs.Counter("lattice_sched_submit_retries_total",
+		"Gatekeeper submit failures sent to exponential backoff").Inc()
+	s.obs.Record(j.Batch, j.Desc.JobID, obs.StageRequeue, name,
+		fmt.Sprintf("submit failed (%v); retry in %.0fs", err, float64(backoff)))
+	s.eng.Schedule(backoff, func() {
+		if j.Status != StatusPending {
+			return // cancelled or picked up by a scan meanwhile
+		}
+		if !s.tryPlace(j) {
+			s.pending = append(s.pending, j)
+			s.ins.pending.Set(float64(len(s.pending)))
+		}
+	})
+}
+
+// checkOffline runs before each periodic scan: any resource holding
+// in-flight jobs whose MDS entry has expired is presumed dead — a
+// crashed Globus container stops publishing, its entry ages out, and
+// everything it held is requeued (the paper's TTL machinery, closed
+// into a recovery loop).
+func (s *Scheduler) checkOffline() {
+	for _, name := range s.order {
+		r := s.resources[name]
+		if r.active == 0 {
+			continue
+		}
+		if _, ok := s.idx.Lookup(name); ok {
+			continue
+		}
+		s.requeueFrom(name)
+	}
+}
+
+// requeueFrom pulls every running job off a presumed-dead resource and
+// returns it to the pending queue, cancelling the remote copy
+// best-effort so a late completion cannot race the reissue.
+func (s *Scheduler) requeueFrom(resource string) {
+	var ids []string
+	//lint:allow determinism -- collected IDs are sorted before use
+	for id, j := range s.jobs {
+		if j.Status == StatusRunning && j.Resource == resource {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	r := s.resources[resource]
+	for _, id := range ids {
+		j := s.jobs[id]
+		r.lrm.Cancel(id)
+		s.release(j)
+		s.stats.Requeued++
+		s.obs.Counter("lattice_sched_requeues_total",
+			"In-flight jobs requeued after resource death (MDS expiry)").Inc()
+		s.obs.Record(j.Batch, id, obs.StageRequeue, resource, "resource presumed dead (MDS entry expired)")
+		s.markDisrupted(j)
+		j.Status = StatusPending
+		j.Resource = ""
+		s.pending = append(s.pending, j)
+	}
+	s.observeStability(resource, false)
+	s.ins.pending.Set(float64(len(s.pending)))
+}
+
+// markDisrupted stamps a job's first fault-induced setback.
+func (s *Scheduler) markDisrupted(j *GridJob) {
+	if j.disrupted {
+		return
+	}
+	j.disrupted = true
+	j.disruptedAt = s.eng.Now()
+}
+
+func (s *Scheduler) onJobComplete(j *GridJob, attempt int) {
+	if j.Status != StatusRunning || j.Attempts != attempt {
 		return
 	}
 	s.release(j)
+	s.observeStability(j.Resource, true)
+	if j.disrupted {
+		s.obs.Histogram("lattice_sched_fault_recovery_seconds",
+			"Virtual seconds from a job's first fault-induced disruption to its completion", nil).
+			Observe(float64(s.eng.Now().Sub(j.disruptedAt)))
+	}
 	j.Status = StatusCompleted
 	j.CompletedAt = s.eng.Now()
 	s.stats.Completed++
@@ -363,13 +486,17 @@ func (s *Scheduler) onJobComplete(j *GridJob) {
 	}
 }
 
-func (s *Scheduler) onJobFail(j *GridJob, resourceName, reason string) {
-	if j.Status != StatusRunning {
+func (s *Scheduler) onJobFail(j *GridJob, resourceName, reason string, attempt int) {
+	if j.Status != StatusRunning || j.Attempts != attempt {
 		return
 	}
 	s.release(j)
 	s.stats.Retries++
 	s.ins.retries.Inc()
+	s.observeStability(resourceName, false)
+	if strings.HasPrefix(reason, "faults:") {
+		s.markDisrupted(j)
+	}
 	if j.Attempts > s.cfg.RetryLimit {
 		j.Status = StatusFailed
 		j.CompletedAt = s.eng.Now()

@@ -12,12 +12,14 @@ import (
 // Stage names one step of the job lifecycle the journal tracks:
 //
 //	submit → validate → estimate → place → dispatch →
-//	run / preempt / reissue → quorum → complete | fail
+//	run / preempt / reissue / fault / requeue → quorum →
+//	complete | fail
 //
 // Components record the stages they own: GSBL validates, the
-// meta-scheduler submits/estimates/places/dispatches and owns the
-// terminal stages, the LRMs record run and preempt, and the BOINC
-// server records reissue and quorum.
+// meta-scheduler submits/estimates/places/dispatches, requeues after
+// resource death, and owns the terminal stages, the LRMs record run
+// and preempt, the BOINC server records reissue and quorum, and the
+// fault injector records fault.
 type Stage string
 
 const (
@@ -29,6 +31,8 @@ const (
 	StageRun      Stage = "run"
 	StagePreempt  Stage = "preempt"
 	StageReissue  Stage = "reissue"
+	StageFault    Stage = "fault"
+	StageRequeue  Stage = "requeue"
 	StageQuorum   Stage = "quorum"
 	StageComplete Stage = "complete"
 	StageFail     Stage = "fail"
