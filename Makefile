@@ -8,7 +8,11 @@ BENCH_PATTERN = SearchEval50|Search50|ParallelScore
 # see EXPERIMENTS.md "Fault injection".
 FAULT_BENCH_PATTERN = FaultScenario
 
-.PHONY: all build vet lint test race smoke faults check bench bench-smoke bench-json bench-json-faults
+# The PR5 write-ahead-log overhead benchmarks (wal-off vs wal-on); see
+# EXPERIMENTS.md "Crash recovery".
+WAL_BENCH_PATTERN = WALScenario
+
+.PHONY: all build vet lint test race smoke faults crash check bench bench-smoke bench-json bench-json-faults bench-json-wal
 
 all: check
 
@@ -54,15 +58,27 @@ bench-json:
 bench-json-faults:
 	$(GO) test -run '^$$' -bench '$(FAULT_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
+# bench-json-wal regenerates the committed durability overhead
+# artifact (wal-off vs wal-on grid runs).
+bench-json-wal:
+	$(GO) test -run '^$$' -bench '$(WAL_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+
 # faults runs the fault-injection scenario under the race detector:
 # conservation (every job exactly one terminal state) and same-seed
 # determinism under the default hostile schedule.
 faults:
 	$(GO) test -race -run TestFaultScenarioShape ./internal/experiments/
 
+# crash runs the crash-recovery scenario under the race detector: the
+# coordinator killed three times mid-batch (once over a torn log
+# tail), recovered from the WAL each time, with conservation intact
+# and the final journal digest bit-identical to an uninterrupted run.
+crash:
+	$(GO) test -race -run TestCrashScenarioShape ./internal/experiments/
+
 # check is the full correctness gate: compile, go vet, the project
 # analyzers, the test suite under the race detector (which includes
 # the forest/BOINC concurrency stress tests), the fault-injection
 # scenario under -race, and the grid boot smoke that scrapes /metrics
 # over real HTTP.
-check: build vet lint race faults smoke
+check: build vet lint race faults crash smoke

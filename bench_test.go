@@ -545,3 +545,30 @@ func BenchmarkSimEngine(b *testing.B) {
 	}
 	b.ReportMetric(100000, "events/op")
 }
+
+// BenchmarkWALScenario prices crash-consistent durability: the same
+// 200-replicate hostile-schedule batch with durability off ("wal-off")
+// and with every coordinator transition logged to a write-ahead log
+// ("wal-on"). The pair is the PR5 overhead artifact (BENCH_PR5.json,
+// `make bench-json-wal`).
+func BenchmarkWALScenario(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		durable bool
+	}{
+		{"wal-off", false},
+		{"wal-on", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := experiments.WALOverheadRun(1, c.durable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Completed+m.Failed != m.Jobs {
+					b.Fatalf("batch not terminal: %+v", m)
+				}
+			}
+		})
+	}
+}

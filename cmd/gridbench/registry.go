@@ -45,6 +45,8 @@ var registry = []experiment{
 		func(s int64) (fmt.Stringer, error) { return experiments.EnginePerf(s, 20, 300, 80) }},
 	{"faults", "Fault injection — conservation and determinism under a hostile schedule",
 		func(s int64) (fmt.Stringer, error) { return experiments.FaultScenario(s) }},
+	{"crash", "Crash recovery — coordinator killed mid-batch, resumed from the WAL",
+		func(s int64) (fmt.Stringer, error) { return experiments.CrashScenario(s) }},
 	{"abl-mtry", "Ablation — covariate subsampling (mtry)",
 		func(s int64) (fmt.Stringer, error) { return experiments.AblationMtry(s, 150) }},
 	{"abl-size", "Ablation — forest size",

@@ -50,6 +50,7 @@ func run() error {
 		train       = flag.Int("train", 150, "runtime-model training jobs")
 		smoke       = flag.Bool("smoke", false, "boot, run a small workload, self-scrape /metrics, and exit")
 		withFaults  = flag.Bool("faults", false, "run under the default hostile fault schedule (outages, flaps, churn, lost results)")
+		durable     = flag.String("durable", "", "directory for crash-consistent state (WAL + snapshots); on boot, existing state there is recovered")
 	)
 	flag.Parse()
 
@@ -59,9 +60,28 @@ func run() error {
 		cfg.Faults = core.DefaultFaultSchedule()
 		cfg.Scheduler.StabilityAlpha = 0.2
 	}
-	lat, err := core.New(cfg)
+	var lat *core.Lattice
+	var err error
+	if *durable != "" {
+		cfg.Durable = *durable
+		// Recover falls through to a fresh boot when the directory
+		// holds no durable state yet.
+		lat, err = core.Recover(*durable, cfg)
+	} else {
+		lat, err = core.New(cfg)
+	}
 	if err != nil {
 		return err
+	}
+	if rep := lat.Recovery; rep != nil {
+		fmt.Printf("recovered from %s: %d records verified (snapshot at seq %d, %d log records, %d inputs replayed), resumed at t=%.0fs",
+			*durable, rep.Records, rep.SnapshotSeq, rep.TailRecords, rep.Inputs, float64(rep.Watermark))
+		if rep.TornTail {
+			fmt.Print(" — torn final log record dropped")
+		}
+		fmt.Println()
+	} else if *durable != "" {
+		fmt.Printf("durable state: write-ahead log at %s\n", *durable)
 	}
 	if *withFaults {
 		fmt.Println("fault injection active: default hostile schedule armed (see /metrics lattice_faults_injected_total)")

@@ -111,11 +111,35 @@ type Server struct {
 	mu    sync.Mutex
 	hosts []*Host
 	// unsent holds workunits with capacity for further issues, FIFO.
-	unsent []*workunit
-	byJob  map[string]*workunit
-	stats  Stats
-	obs    *obs.Obs
-	ins    boincInstruments
+	unsent  []*workunit
+	byJob   map[string]*workunit
+	stats   Stats
+	obs     *obs.Obs
+	ins     boincInstruments
+	durable Durability
+}
+
+// Durability is the write-ahead-log hook for workunit and result
+// state transitions (created, issued, timeout, failed, returned,
+// late, done). Called with s.mu held; implementations must not call
+// back into the server.
+type Durability interface {
+	Workunit(at sim.Time, job, state, detail string)
+}
+
+// SetDurable installs the durability hook (nil disables it).
+func (s *Server) SetDurable(d Durability) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.durable = d
+}
+
+// durably records one workunit transition when a hook is installed.
+// Callers hold s.mu.
+func (s *Server) durably(job, state, detail string) {
+	if s.durable != nil {
+		s.durable.Workunit(s.eng.Now(), job, state, detail)
+	}
 }
 
 // boincInstruments holds the project's metric handles; all are
@@ -245,6 +269,7 @@ func (s *Server) Submit(j *lrm.Job) error {
 	s.byJob[j.ID] = wu
 	s.unsent = append(s.unsent, wu)
 	s.stats.WorkunitsCreated++
+	s.durably(j.ID, "created", "")
 	return nil
 }
 
@@ -362,6 +387,7 @@ func (s *Server) issue(wu *workunit, h *Host) {
 	wu.pending = append(wu.pending, r)
 	s.stats.ResultsIssued++
 	s.ins.issued.Inc()
+	s.durably(wu.job.ID, "issued", fmt.Sprintf("issue %d", wu.issues))
 	h.tasks = append(h.tasks, &task{res: r, remainingWork: wu.job.Work})
 	if len(h.tasks) == 1 {
 		h.resume()
@@ -402,6 +428,7 @@ func (s *Server) deadlinePassed(r *result) (notify func()) {
 	r.timedOut = true
 	s.stats.ResultsTimedOut++
 	s.ins.missed.Inc()
+	s.durably(wu.job.ID, "timeout", fmt.Sprintf("issue %d", wu.issues))
 	wu.removePending(r)
 	// Drop the task from the host queue if the host still holds it.
 	if !r.lost {
@@ -411,6 +438,7 @@ func (s *Server) deadlinePassed(r *result) (notify func()) {
 		wu.failed = true
 		s.stats.WorkunitsFailed++
 		s.ins.wuFailed.Inc()
+		s.durably(wu.job.ID, "failed", "too many errors")
 		s.removeUnsent(wu)
 		if fail := wu.job.OnFail; fail != nil {
 			now := s.eng.Now()
@@ -468,10 +496,12 @@ func (s *Server) receiveResult(r *result) (notify func()) {
 	s.stats.ResultsReturned++
 	s.ins.returned.Inc()
 	wu := r.wu
+	s.durably(wu.job.ID, "returned", "")
 	if r.timedOut || wu.done || wu.failed {
 		// Arrived after reissue or completion: wasted computation.
 		s.stats.ResultsLate++
 		s.ins.late.Inc()
+		s.durably(wu.job.ID, "late", "")
 		s.stats.WastedCPUSeconds += wu.job.Work / lrm.ReferenceCellsPerSecond
 		return nil
 	}
@@ -483,6 +513,7 @@ func (s *Server) receiveResult(r *result) (notify func()) {
 	wu.done = true
 	s.stats.WorkunitsDone++
 	s.ins.validated.Inc()
+	s.durably(wu.job.ID, "done", fmt.Sprintf("%d/%d results", wu.returned, s.cfg.Quorum))
 	s.obs.Record(wu.job.Batch, wu.job.ID, obs.StageQuorum, s.cfg.Name,
 		fmt.Sprintf("%d/%d results", wu.returned, s.cfg.Quorum))
 	// Redundant copies beyond the first are overhead by design.

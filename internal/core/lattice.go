@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"lattice/internal/boinc"
 	"lattice/internal/estimate"
@@ -22,6 +23,7 @@ import (
 	"lattice/internal/obs"
 	"lattice/internal/portal"
 	"lattice/internal/sim"
+	"lattice/internal/wal"
 	"lattice/internal/workload"
 )
 
@@ -64,6 +66,15 @@ type Config struct {
 	// virtual clock. Nil leaves the production path untouched — no
 	// wrapper, no extra RNG stream, bit-identical behaviour.
 	Faults *faults.Schedule
+	// Durable, when non-empty, is a directory for crash-consistent
+	// state: every coordinator transition and input is appended to a
+	// write-ahead log there (see internal/wal), periodic snapshots
+	// bound replay, and core.Recover resumes a killed deployment
+	// mid-batch. Empty disables durability entirely — no recorder, no
+	// extra RNG draws, bit-identical to pre-durability builds.
+	Durable string
+	// WAL tunes the write-ahead log when Durable is set.
+	WAL wal.Options
 }
 
 // DefaultConfig builds the paper's federation: four Condor pools, four
@@ -140,8 +151,12 @@ type Lattice struct {
 	// Faults is the active fault injector (nil unless Config.Faults
 	// was set).
 	Faults *faults.Injector
+	// Recovery describes the rebuild when this Lattice came from
+	// Recover; nil on a fresh New.
+	Recovery *RecoveryReport
 
 	rng       *sim.RNG
+	rec       *recorder
 	resources map[string]lrm.LRM
 	refName   string
 	retrains  int
@@ -151,8 +166,35 @@ type Lattice struct {
 	retrainErrs []error
 }
 
-// New assembles and starts a Lattice deployment.
+// New assembles and starts a Lattice deployment. With cfg.Durable set
+// it also creates a fresh write-ahead log there and wires the
+// durability recorder through every component; use Recover instead
+// when the directory already holds state.
 func New(cfg Config) (*Lattice, error) {
+	l, err := build(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Durable != "" {
+		lg, err := wal.Create(cfg.Durable, cfg.WAL)
+		if err != nil {
+			return nil, err
+		}
+		rec := newRecorder(l.Engine, cfg.Seed)
+		l.wireDurable(rec)
+		rec.attachLog(lg)
+		rec.begin()
+		if err := l.Portal.SetArtifactDir(filepath.Join(cfg.Durable, "artifacts")); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// build assembles the deployment. rebuild marks a recovery
+// re-execution: identical wiring and RNG draws, but scheduled crashes
+// must not stop the engine (the rebuild runs straight through them).
+func build(cfg Config, rebuild bool) (*Lattice, error) {
 	if cfg.MDSTTL <= 0 {
 		cfg.MDSTTL = 5 * sim.Minute
 	}
@@ -182,6 +224,9 @@ func New(cfg Config) (*Lattice, error) {
 	if cfg.Faults != nil {
 		l.Faults = faults.NewInjector(eng, rng.Stream("faults"))
 		l.Faults.SetObs(l.Obs)
+		if rebuild {
+			l.Faults.SetCrashStops(false)
+		}
 		pubSink = l.Faults.Sink(idx)
 	}
 	for _, rs := range cfg.Resources {
@@ -345,7 +390,7 @@ func (l *Lattice) TotalCores() int {
 // observed runtime and values of the predictor variables to the
 // matrix").
 func (l *Lattice) SubmitSubmission(sub workload.Submission) (*gsbl.Batch, error) {
-	b, err := l.Service.SubmitBatch(sub)
+	b, err := l.Service.SubmitBatchOrigin(sub, "core")
 	if err != nil {
 		return nil, err
 	}

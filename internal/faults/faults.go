@@ -50,6 +50,11 @@ const (
 	// KindLostResult converts each completed result into a failure
 	// ("lost in transit") with probability P during the window.
 	KindLostResult Kind = "lost-result"
+	// KindCrash kills the coordinator process itself at a scheduled
+	// time (Schedule.CrashAt). The injector stops the engine
+	// mid-simulation; with durability enabled the run resumes via
+	// core.Recover, without it everything since genesis is lost.
+	KindCrash Kind = "crash"
 )
 
 // Event is one scripted fault. At is when it begins; window faults
@@ -90,6 +95,9 @@ type Flap struct {
 type Schedule struct {
 	Events []Event
 	Flaps  []Flap
+	// CrashAt lists virtual times at which the coordinator process is
+	// killed (see KindCrash).
+	CrashAt []sim.Time
 }
 
 // Validate checks the schedule's internal consistency.
@@ -126,6 +134,11 @@ func (s *Schedule) Validate() error {
 			}
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	for i, at := range s.CrashAt {
+		if at < 0 {
+			return fmt.Errorf("faults: crash %d scheduled before t=0", i)
 		}
 	}
 	for i, f := range s.Flaps {

@@ -406,3 +406,59 @@ func TestApplyRejectsUnwiredTargets(t *testing.T) {
 		t.Error("Apply accepted a flap for an unwrapped resource")
 	}
 }
+
+func TestCrashStopsEngine(t *testing.T) {
+	h := newHarness(t, 1, sim.Hour, Schedule{CrashAt: []sim.Time{sim.Time(30 * sim.Minute)}})
+	var o outcome
+	if err := h.res.Submit(job("j1", &o)); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunUntil(sim.Time(2 * sim.Hour))
+	if !h.in.Crashed() {
+		t.Fatal("Crashed() = false after a scheduled kill")
+	}
+	if h.eng.Now() != sim.Time(30*sim.Minute) {
+		t.Errorf("engine stopped at %v, want the 30m kill", h.eng.Now())
+	}
+	if o.done {
+		t.Error("job reached a terminal state past the kill")
+	}
+	if h.in.Injected()[KindCrash] != 1 {
+		t.Errorf("injected = %v, want one crash", h.in.Injected())
+	}
+	// The event queue survives the stop: a resumed engine (recovery
+	// re-arms crashStops on a fresh injector; here we just clear the
+	// flag) finishes the in-flight job.
+	h.eng.RunUntil(sim.Time(2 * sim.Hour))
+	if !o.done || o.failReason != "" {
+		t.Fatalf("job did not complete after resume: %+v", o)
+	}
+}
+
+func TestCrashDisarmed(t *testing.T) {
+	h := newHarness(t, 1, sim.Hour, Schedule{CrashAt: []sim.Time{sim.Time(30 * sim.Minute)}})
+	h.in.SetCrashStops(false)
+	var o outcome
+	if err := h.res.Submit(job("j1", &o)); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunUntil(sim.Time(2 * sim.Hour))
+	if h.in.Crashed() {
+		t.Error("disarmed kill still reported Crashed()")
+	}
+	if !o.done || o.failReason != "" {
+		t.Fatalf("job did not complete under a disarmed kill: %+v", o)
+	}
+	// The kill is still journaled — rebuilds and uninterrupted twins
+	// must share identical journals.
+	if h.in.Injected()[KindCrash] != 1 {
+		t.Errorf("injected = %v, want the kill noted", h.in.Injected())
+	}
+}
+
+func TestCrashValidate(t *testing.T) {
+	sch := Schedule{CrashAt: []sim.Time{-1}}
+	if err := sch.Validate(); err == nil {
+		t.Error("Validate accepted a crash before t=0")
+	}
+}

@@ -26,6 +26,12 @@ type Injector struct {
 	targets  map[string]*target
 	churners map[string]Churner
 	stats    map[Kind]int
+	// crashStops controls whether an armed crash actually stops the
+	// engine. Recovery re-execution disables it: the crash must still
+	// journal and count (it did originally), but the rebuild needs to
+	// run straight through it.
+	crashStops bool
+	crashed    bool
 }
 
 // NewInjector creates an injector on the engine's clock. rng seeds the
@@ -34,13 +40,23 @@ type Injector struct {
 // order) pins the whole fault sequence.
 func NewInjector(eng *sim.Engine, rng *sim.RNG) *Injector {
 	return &Injector{
-		eng:      eng,
-		rng:      rng,
-		targets:  make(map[string]*target),
-		churners: make(map[string]Churner),
-		stats:    make(map[Kind]int),
+		eng:        eng,
+		rng:        rng,
+		targets:    make(map[string]*target),
+		churners:   make(map[string]Churner),
+		stats:      make(map[Kind]int),
+		crashStops: true,
 	}
 }
+
+// SetCrashStops toggles whether armed crashes halt the engine (they
+// do by default). The journal event and injection count fire either
+// way, so a recovery re-execution reproduces them bit-identically.
+func (in *Injector) SetCrashStops(on bool) { in.crashStops = on }
+
+// Crashed reports whether a scheduled crash has killed the
+// coordinator since the last recovery.
+func (in *Injector) Crashed() bool { return in.crashed }
 
 // SetObs wires the injector to an observability hub: every injected
 // fault becomes a per-kind counter increment and a journal "fault"
@@ -122,7 +138,23 @@ func (in *Injector) Apply(sch Schedule) error {
 	for i := range sch.Flaps {
 		in.armFlap(sch.Flaps[i], i)
 	}
+	for i := range sch.CrashAt {
+		in.armCrash(sch.CrashAt[i])
+	}
 	return nil
+}
+
+// armCrash schedules a coordinator kill: the crash journals like any
+// injected fault, then halts the engine mid-run — the simulation
+// equivalent of the process dying with events still queued.
+func (in *Injector) armCrash(at sim.Time) {
+	in.eng.ScheduleAt(at, func() {
+		in.note(KindCrash, "coordinator", "process killed")
+		if in.crashStops {
+			in.crashed = true
+			in.eng.Stop()
+		}
+	})
 }
 
 // arm schedules one scripted event's begin (and end, for windows).

@@ -46,7 +46,19 @@ type Service struct {
 	batches map[string]*Batch
 	nextID  int
 	obs     *obs.Obs
+	durable Durability
 }
+
+// Durability is the write-ahead-log hook for submissions entering the
+// coordinator. The submission is recorded after validation and before
+// any scheduling side effect, so a recovered run can re-inject it and
+// regenerate everything downstream.
+type Durability interface {
+	Submission(at sim.Time, origin string, sub workload.Submission)
+}
+
+// SetDurable installs the durability hook (nil disables it).
+func (s *Service) SetDurable(d Durability) { s.durable = d }
 
 // SetObs wires the facade to an observability hub: validation becomes
 // a journal event and each batch gets a root trace span covering
@@ -74,8 +86,23 @@ func (s *Service) Validate(sub *workload.Submission) error {
 // SubmitBatch validates and schedules a submission. On completion of
 // every replicate the user is emailed and results become downloadable.
 func (s *Service) SubmitBatch(sub workload.Submission) (*Batch, error) {
+	return s.SubmitBatchOrigin(sub, "service")
+}
+
+// SubmitBatchOrigin is SubmitBatch with an explicit origin label
+// ("service", "portal", "core") naming the path the submission
+// arrived through. The durability layer records the label so recovery
+// can re-inject each submission through the same path — paths differ
+// in bookkeeping (portal ownership) and RNG side effects (core's
+// reference fork).
+func (s *Service) SubmitBatchOrigin(sub workload.Submission, origin string) (*Batch, error) {
 	if err := s.Validate(&sub); err != nil {
 		return nil, err
+	}
+	if s.durable != nil {
+		// Record the input exactly as it arrived (before BatchTag
+		// assignment mutates it).
+		s.durable.Submission(s.eng.Now(), origin, sub)
 	}
 	s.nextID++
 	b := &Batch{

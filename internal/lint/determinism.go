@@ -24,6 +24,7 @@ not flagged. Use //lint:allow determinism for justified exceptions.`,
 		"internal/metasched",
 		"internal/obs",
 		"internal/faults",
+		"internal/wal",
 	},
 	Run: runDeterminism,
 }

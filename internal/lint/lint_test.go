@@ -176,6 +176,17 @@ func TestFaultsInjectorFixture(t *testing.T) {
 	matchWants(t, "faultsinj", findings)
 }
 
+// TestWALFixture proves the analyzers covering internal/wal actually
+// fire on log-shaped code: determinism and errdrop findings over one
+// combined fixture, with the good-file look-alikes staying clean.
+func TestWALFixture(t *testing.T) {
+	var findings []Finding
+	for _, a := range []*Analyzer{Determinism, ErrDrop} {
+		findings = append(findings, runFixture(t, a, "wal")...)
+	}
+	matchWants(t, "wal", findings)
+}
+
 // TestGoodFixturesClean pins the false-positive guarantee explicitly:
 // no analyzer may produce a finding anywhere in its good.go, which
 // exercises both the look-alike constructs and the //lint:allow
@@ -205,6 +216,7 @@ func TestAnalyzerScope(t *testing.T) {
 		{Determinism, "lattice/internal/experiments", true},
 		{Determinism, "lattice/internal/metasched", true},
 		{Determinism, "lattice/internal/faults", true},
+		{Determinism, "lattice/internal/wal", true},
 		{Determinism, "lattice/internal/portal", false},
 		{Determinism, "lattice/cmd/latticelint", false},
 		{FloatCmp, "lattice/internal/phylo", true},

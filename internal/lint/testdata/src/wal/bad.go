@@ -1,0 +1,45 @@
+// Fixture: write-ahead-log-shaped constructs that the analyzers
+// scoped (or applying) to internal/wal must flag — nondeterministic
+// snapshot serialization, wall-clock record stamps, and dropped log
+// I/O errors.
+package wal
+
+import (
+	"errors"
+	"time"
+)
+
+// log is a stand-in for the append-only WAL.
+type log struct{ n int }
+
+func (l *log) Append(rec string) error { l.n++; return errors.New("disk full") }
+func (l *log) Close() error            { return errors.New("close failed") }
+
+// SnapshotInputs serializes the input map — map iteration feeding an
+// ordered sink, which would make the snapshot bytes (and so the
+// recovery verification digest) depend on map layout.
+func SnapshotInputs(inputs map[string]string) []string {
+	var out []string
+	for k, v := range inputs { // want: range over map feeds append
+		out = append(out, k+"="+v)
+	}
+	return out
+}
+
+// StampRecord timestamps a durable record with the wall clock instead
+// of virtual time — replay could never regenerate it bit-identically.
+func StampRecord() time.Time {
+	return time.Now() // want: time.Now reads the wall clock
+}
+
+// AppendAndForget drops the log's write error, silently losing
+// durability.
+func AppendAndForget(l *log) {
+	l.Append("stage") // want: returns an error that is discarded
+}
+
+// CloseBlanked swallows the close (and flush) failure through the
+// blank identifier.
+func CloseBlanked(l *log) {
+	_ = l.Close() // want: error value is assigned to the blank identifier
+}

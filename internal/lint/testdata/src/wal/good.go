@@ -1,0 +1,46 @@
+// Fixture: WAL-shaped look-alikes the analyzers must NOT flag — the
+// sanctioned deterministic and error-propagating forms of everything
+// bad.go does wrong.
+package wal
+
+import "sort"
+
+// SnapshotSorted is the deterministic serialization: collect, sort,
+// then emit, annotated like internal/wal itself would.
+func SnapshotSorted(inputs map[string]string) []string {
+	var keys []string
+	//lint:allow determinism -- collected keys are sorted before use
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k+"="+inputs[k])
+	}
+	return out
+}
+
+// AppendChecked propagates the write error so the caller sees the
+// lost durability.
+func AppendChecked(l *log) error {
+	if err := l.Append("stage"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CountRecords is commutative map iteration and not flagged.
+func CountRecords(byKind map[string]int) int {
+	n := 0
+	for _, c := range byKind {
+		n += c
+	}
+	return n
+}
+
+// CloseDeferred: deferred calls are exempt by rule; the sticky error
+// surfaces through Err().
+func CloseDeferred(l *log) {
+	defer l.Close()
+}

@@ -253,7 +253,22 @@ type Scheduler struct {
 	scanning bool
 	obs      *obs.Obs
 	ins      schedInstruments
+	durable  Durability
 }
+
+// Durability is the write-ahead-log hook for the scheduler's learned
+// state: stability EWMAs and submit-retry backoff decisions. Methods
+// are called synchronously on the engine goroutine; implementations
+// must not call back into the scheduler.
+type Durability interface {
+	// EWMA records a resource's updated stability estimate.
+	EWMA(at sim.Time, resource string, stability float64)
+	// Backoff records a submit-retry backoff decision for a job.
+	Backoff(at sim.Time, job, resource string, attempt int, backoff sim.Duration)
+}
+
+// SetDurable installs the durability hook (nil disables it).
+func (s *Scheduler) SetDurable(d Durability) { s.durable = d }
 
 // schedInstruments pre-registers the scheduler's label-less metric
 // handles; per-resource series are created lazily on first placement.
@@ -362,6 +377,9 @@ func (s *Scheduler) SetStability(name string, stability float64) error {
 		return fmt.Errorf("metasched: stability must be in [0,1], got %g", stability)
 	}
 	r.stability = stability
+	if s.durable != nil {
+		s.durable.EWMA(s.eng.Now(), name, r.stability)
+	}
 	return nil
 }
 
@@ -389,6 +407,9 @@ func (s *Scheduler) observeStability(name string, ok bool) {
 		v = 1
 	}
 	r.stability = (1-s.cfg.StabilityAlpha)*r.stability + s.cfg.StabilityAlpha*v
+	if s.durable != nil {
+		s.durable.EWMA(s.eng.Now(), name, r.stability)
+	}
 }
 
 // Job returns the tracked record for a job ID.

@@ -3,6 +3,7 @@ package obs
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"hash"
 	"sync"
 
@@ -56,15 +57,30 @@ type Event struct {
 // journal of a fixed-seed simulation is identical run to run — the
 // digest turns that into a one-line assertion.
 type Journal struct {
-	mu     sync.Mutex
-	clock  sim.Clock
-	hash   hash.Hash
-	events []Event
+	mu       sync.Mutex
+	clock    sim.Clock
+	hash     hash.Hash
+	events   []Event
+	observer func(Event)
 }
 
 // NewJournal creates an empty journal on the given virtual clock.
 func NewJournal(clock sim.Clock) *Journal {
 	return &Journal{clock: clock, hash: sha256.New()}
+}
+
+// SetObserver installs a callback invoked synchronously for every
+// recorded event, after it is hashed. The callback runs under the
+// journal lock — it must not call back into the journal. The
+// durability layer uses this to mirror lifecycle events into the
+// write-ahead log.
+func (j *Journal) SetObserver(fn func(Event)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.observer = fn
 }
 
 // Record appends one event stamped with the current virtual time.
@@ -76,19 +92,28 @@ func (j *Journal) Record(batch, job string, stage Stage, resource, detail string
 	defer j.mu.Unlock()
 	ev := Event{At: j.clock.Now(), Batch: batch, Job: job, Stage: stage, Resource: resource, Detail: detail}
 	j.events = append(j.events, ev)
-	// Stream the event into the digest in a canonical framing: fields
-	// separated by unit separators, events by newlines, the timestamp
-	// in shortest round-trip float form.
+	HashEvent(j.hash, ev)
+	if j.observer != nil {
+		j.observer(ev)
+	}
+}
+
+// HashEvent streams one event into h in the journal's canonical
+// framing: fields separated by unit separators, events by newlines,
+// the timestamp in shortest round-trip float form. Exported so the
+// durability layer can maintain an identical running digest from its
+// own record stream.
+func HashEvent(h hash.Hash, ev Event) {
 	//lint:allow errdrop -- hash.Hash documents that Write never errors
-	j.hash.Write([]byte(formatFloat(float64(ev.At))))
+	h.Write([]byte(formatFloat(float64(ev.At))))
 	for _, f := range []string{ev.Batch, ev.Job, string(ev.Stage), ev.Resource, ev.Detail} {
 		//lint:allow errdrop -- hash.Hash documents that Write never errors
-		j.hash.Write([]byte{0x1f})
+		h.Write([]byte{0x1f})
 		//lint:allow errdrop -- hash.Hash documents that Write never errors
-		j.hash.Write([]byte(f))
+		h.Write([]byte(f))
 	}
 	//lint:allow errdrop -- hash.Hash documents that Write never errors
-	j.hash.Write([]byte{'\n'})
+	h.Write([]byte{'\n'})
 }
 
 // Len reports the number of recorded events.
@@ -120,6 +145,28 @@ func (j *Journal) Digest() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return hex.EncodeToString(j.hash.Sum(nil))
+}
+
+// DigestAt returns the hex SHA-256 over the first n events — the
+// digest the journal had when its length was n. Recovery uses this to
+// check a rebuilt journal against a snapshot's recorded prefix.
+func (j *Journal) DigestAt(n int) (string, error) {
+	if j == nil {
+		if n == 0 {
+			return hex.EncodeToString(sha256.New().Sum(nil)), nil
+		}
+		return "", fmt.Errorf("obs: DigestAt(%d) on nil journal", n)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 || n > len(j.events) {
+		return "", fmt.Errorf("obs: DigestAt(%d) outside journal of %d events", n, len(j.events))
+	}
+	h := sha256.New()
+	for _, ev := range j.events[:n] {
+		HashEvent(h, ev)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // TerminalCounts returns, for every job whose lifecycle the journal

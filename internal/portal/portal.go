@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,6 +16,7 @@ import (
 	"lattice/internal/obs"
 	"lattice/internal/phylo"
 	"lattice/internal/sim"
+	"lattice/internal/wal"
 	"lattice/internal/workload"
 )
 
@@ -36,6 +39,67 @@ type Portal struct {
 	// client disconnected mid-response, which a handler cannot report
 	// anywhere else.
 	clientErrs int
+	durable    Durability
+	// artifactDir, when set, caches downloadable result archives on
+	// disk (written atomically) so a crash mid-write can never leave a
+	// truncated archive behind.
+	artifactDir string
+}
+
+// Durability is the write-ahead-log hook for portal account state.
+// Called under the portal lock; implementations must not call back
+// into the portal.
+type Durability interface {
+	User(at sim.Time, token, email string)
+}
+
+// SetDurable installs the durability hook (nil disables it).
+func (p *Portal) SetDurable(d Durability) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.durable = d
+}
+
+// SetArtifactDir enables the on-disk result-archive cache under dir.
+func (p *Portal) SetArtifactDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("portal: artifact dir: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.artifactDir = dir
+	return nil
+}
+
+// RestoreUser re-creates a registered account from the durable log,
+// keeping the token counter ahead of every restored token so new
+// registrations never collide.
+func (p *Portal) RestoreUser(token, email string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.users[token] = email
+	var n int
+	if _, err := fmt.Sscanf(token, "tok-%06d", &n); err == nil && n > p.nextTok {
+		p.nextTok = n
+	}
+	if p.durable != nil {
+		p.durable.User(p.eng.Now(), token, email)
+	}
+}
+
+// Resubmit pushes a submission through the portal's submission path —
+// batch creation plus ownership bookkeeping — without an HTTP
+// request. Recovery uses it to re-inject portal-originated
+// submissions.
+func (p *Portal) Resubmit(sub workload.Submission) (*gsbl.Batch, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	batch, err := p.svc.SubmitBatchOrigin(sub, "portal")
+	if err != nil {
+		return nil, err
+	}
+	p.owners[batch.ID] = sub.UserEmail
+	return batch, nil
 }
 
 // ClientWriteErrors reports how many response writes failed because
@@ -178,6 +242,9 @@ func (p *Portal) handleRegister(w http.ResponseWriter, r *http.Request) {
 	p.nextTok++
 	token := fmt.Sprintf("tok-%06d", p.nextTok)
 	p.users[token] = email
+	if p.durable != nil {
+		p.durable.User(p.eng.Now(), token, email)
+	}
 	p.mu.Unlock()
 	p.writeJSON(w, map[string]string{"token": token, "email": email})
 }
@@ -238,12 +305,7 @@ func (p *Portal) createJob(w http.ResponseWriter, r *http.Request) {
 		Bootstrap:  bootstrap,
 		UserEmail:  email,
 	}
-	p.mu.Lock()
-	batch, err := p.svc.SubmitBatch(sub)
-	if err == nil {
-		p.owners[batch.ID] = email
-	}
-	p.mu.Unlock()
+	batch, err := p.Resubmit(sub)
 	if err != nil {
 		http.Error(w, "validation failed: "+err.Error(), http.StatusBadRequest)
 		return
@@ -386,10 +448,19 @@ func (p *Portal) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(parts) == 2 && parts[1] == "download" {
 		p.mu.Lock()
 		data, err := p.svc.ResultsZip(id)
+		dir := p.artifactDir
 		p.mu.Unlock()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
+		}
+		if dir != "" {
+			// Publish the archive atomically: readers (and recovery)
+			// only ever see a complete zip at this path.
+			if err := wal.WriteFileAtomic(filepath.Join(dir, id+".zip"), data); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
 		}
 		w.Header().Set("Content-Type", "application/zip")
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.zip", id))

@@ -1,14 +1,21 @@
 package portal
 
 import (
+	"archive/zip"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"testing/iotest"
+
+	"lattice/internal/wal"
 
 	"lattice/internal/grid/mds"
 	"lattice/internal/gsbl"
@@ -378,5 +385,75 @@ func TestGridStatusEndpoint(t *testing.T) {
 	}
 	if out["resources"] != 1 {
 		t.Errorf("status payload %v", out)
+	}
+}
+
+// TestArtifactCacheAtomic covers the durable artifact path: when an
+// artifact directory is configured, downloading a finished batch
+// publishes the result zip on disk via atomic temp+rename, and an
+// interrupted rewrite never clobbers the published archive.
+func TestArtifactCacheAtomic(t *testing.T) {
+	p, ts, _ := fixture(t)
+	dir := t.TempDir()
+	if err := p.SetArtifactDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	batch := submitBatch(t, ts, map[string]string{
+		"email":        "durable@example.org",
+		"datatype":     "nucleotide",
+		"ratematrix":   "HKY85",
+		"ratehetmodel": "gamma",
+		"replicates":   "4",
+	}, testFASTA(t))
+	p.Pump(60 * sim.Day)
+
+	resp, err := http.Get(ts.URL + "/batch/" + batch + "/download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("download returned %d", resp.StatusCode)
+	}
+
+	path := filepath.Join(dir, batch+".zip")
+	cached, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no cached artifact: %v", err)
+	}
+	if !bytes.Equal(cached, served) {
+		t.Fatalf("cached artifact (%d bytes) != served download (%d bytes)", len(cached), len(served))
+	}
+	zr, err := zip.NewReader(bytes.NewReader(cached), int64(len(cached)))
+	if err != nil {
+		t.Fatalf("cached artifact is not a valid zip: %v", err)
+	}
+	if len(zr.File) == 0 {
+		t.Fatal("cached zip is empty")
+	}
+
+	// A writer dying mid-copy must leave the published archive intact
+	// and litter nothing.
+	half := len(cached) / 2
+	err = wal.CopyFileAtomic(path, io.MultiReader(
+		bytes.NewReader(cached[:half]),
+		iotest.ErrReader(errors.New("disk yanked")),
+	))
+	if err == nil {
+		t.Fatal("interrupted copy reported success")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(after, cached) {
+		t.Fatalf("interrupted rewrite damaged the published artifact (err=%v)", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s littered after interrupted copy", e.Name())
+		}
 	}
 }

@@ -120,6 +120,7 @@ type Engine struct {
 	events  map[EventID]*event
 	running bool
 	stopped bool
+	steps   uint64
 }
 
 // NewEngine returns an engine with the clock at time zero and an empty
@@ -189,11 +190,17 @@ func (e *Engine) step() bool {
 		}
 		delete(e.events, ev.id)
 		e.now = ev.at
+		e.steps++
 		ev.fn()
 		return true
 	}
 	return false
 }
+
+// Steps reports how many events the engine has fired since creation.
+// The durability layer uses it to distinguish inputs that arrived
+// before the simulation ever ran from inputs injected mid-run.
+func (e *Engine) Steps() uint64 { return e.steps }
 
 // Run fires events in order until the queue drains or Stop is called.
 // It returns the final clock value.

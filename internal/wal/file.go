@@ -1,0 +1,52 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path through a temp file and rename,
+// so readers never observe a partially written file: a crash or error
+// mid-write leaves any previous file at path intact.
+func WriteFileAtomic(path string, data []byte) error {
+	return CopyFileAtomic(path, bytes.NewReader(data))
+}
+
+// CopyFileAtomic streams src to path with the same atomicity
+// guarantee as WriteFileAtomic. If src fails partway through, the
+// temp file is removed and the previous file at path is untouched.
+func CopyFileAtomic(path string, src io.Reader) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: creating temp file: %w", err)
+	}
+	cleanup := func() {
+		tmp.Close()           //lint:allow errdrop -- already failing; best-effort cleanup
+		os.Remove(tmp.Name()) //lint:allow errdrop -- already failing; best-effort cleanup
+	}
+	if _, err := io.Copy(tmp, src); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: syncing %s: %w", path, err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: setting mode on %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name()) //lint:allow errdrop -- already failing; best-effort cleanup
+		return fmt.Errorf("wal: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name()) //lint:allow errdrop -- already failing; best-effort cleanup
+		return fmt.Errorf("wal: publishing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"lattice/internal/sim"
+)
+
+// State is everything Load could recover from a durable directory:
+// the latest valid snapshot (if any), the verified log tail past it,
+// and the derived replay bounds.
+type State struct {
+	// Snap is the latest snapshot, nil when none was written yet.
+	Snap *Snapshot
+	// Tail holds the log records with Seq > Snap.Seq (all records when
+	// there is no snapshot), contiguous and checksum-verified.
+	Tail []Record
+	// Torn reports that the final log frame was truncated mid-write
+	// and dropped — expected after a crash, not an error.
+	Torn bool
+	// Seed is the run's seed, from the snapshot or genesis record.
+	Seed int64
+	// LastSeq is the newest durable sequence number.
+	LastSeq uint64
+	// Watermark is the virtual time of the newest durable record —
+	// recovery re-executes the run up to here.
+	Watermark sim.Time
+}
+
+// Inputs returns the full input history in sequence order: the
+// snapshot's accumulated inputs followed by any in the tail.
+func (st *State) Inputs() []Record {
+	var in []Record
+	if st.Snap != nil {
+		in = append(in, st.Snap.Inputs...)
+	}
+	for _, r := range st.Tail {
+		if r.IsInput() {
+			in = append(in, r)
+		}
+	}
+	return in
+}
+
+// Load reads dir's durable state: the snapshot, then every complete
+// log frame after it. A torn final frame — truncated header, payload
+// short of its declared length, or checksum/decode failure that runs
+// into EOF — is dropped and flagged Torn; corruption followed by more
+// data is fatal, because everything after an undecodable frame is
+// unframed garbage. Load returns (nil, nil) when dir holds no state.
+func Load(dir string) (*State, error) {
+	snap, err := readSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{Snap: snap}
+	var sinceSeq uint64 // skip log records the snapshot already covers
+	if snap != nil {
+		st.Seed = snap.Seed
+		st.LastSeq = snap.Seq
+		st.Watermark = snap.At
+		sinceSeq = snap.Seq
+	}
+
+	data, err := os.ReadFile(LogPath(dir))
+	if os.IsNotExist(err) {
+		data = nil
+	} else if err != nil {
+		return nil, fmt.Errorf("wal: reading log: %w", err)
+	}
+	if len(data) < len(magic) {
+		// A missing or header-torn log (crash between snapshot rename
+		// and log re-creation) contributes no tail.
+		if snap == nil {
+			if len(data) == 0 {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("wal: log has no valid header and no snapshot exists")
+		}
+		st.Torn = st.Torn || len(data) > 0
+		return st, nil
+	}
+	if string(data[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("wal: bad log header (not a %s file)", magic)
+	}
+
+	off := len(magic)
+	for off < len(data) {
+		r, next, err := decodeFrame(data, off)
+		if err != nil {
+			if frameReachesEOF(data, off) {
+				// The writer died mid-append; the partial frame holds
+				// nothing durable.
+				st.Torn = true
+				break
+			}
+			return nil, fmt.Errorf("wal: corrupt record mid-log at offset %d: %w", off, err)
+		}
+		off = next
+		if r.Seq <= sinceSeq {
+			// Covered by the snapshot — a crash landed between the
+			// snapshot rename and the log truncate.
+			continue
+		}
+		if r.Seq != st.LastSeq+1 {
+			return nil, fmt.Errorf("wal: sequence gap: record %d follows %d", r.Seq, st.LastSeq)
+		}
+		if snap == nil && len(st.Tail) == 0 {
+			if r.Kind != KindGenesis {
+				return nil, fmt.Errorf("wal: log starts with %q, want genesis", r.Kind)
+			}
+			st.Seed = r.Seed
+		}
+		st.Tail = append(st.Tail, r)
+		st.LastSeq = r.Seq
+		st.Watermark = r.At
+	}
+	if snap != nil && snap.Seed != st.Seed && len(st.Tail) > 0 && st.Tail[0].Kind == KindGenesis {
+		return nil, fmt.Errorf("wal: snapshot seed %d disagrees with genesis seed %d", snap.Seed, st.Tail[0].Seed)
+	}
+	if snap == nil && len(st.Tail) == 0 {
+		return nil, nil
+	}
+	return st, nil
+}
+
+// decodeFrame parses one frame at off, returning the record and the
+// next offset.
+func decodeFrame(data []byte, off int) (Record, int, error) {
+	var r Record
+	if len(data)-off < frameHeaderSize {
+		return r, 0, fmt.Errorf("truncated frame header")
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if n > maxFrame {
+		return r, 0, fmt.Errorf("frame length %d exceeds limit", n)
+	}
+	body := off + frameHeaderSize
+	if len(data)-body < n {
+		return r, 0, fmt.Errorf("truncated frame payload (%d of %d bytes)", len(data)-body, n)
+	}
+	payload := data[body : body+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return r, 0, fmt.Errorf("checksum mismatch")
+	}
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return r, 0, fmt.Errorf("decoding payload: %w", err)
+	}
+	return r, body + n, nil
+}
+
+// frameReachesEOF reports whether the (possibly invalid) frame at off
+// claims bytes up to or past the end of the file — the signature of a
+// torn tail, as opposed to corruption with intact data after it.
+func frameReachesEOF(data []byte, off int) bool {
+	if len(data)-off < frameHeaderSize {
+		return true
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	return off+frameHeaderSize+n >= len(data)
+}

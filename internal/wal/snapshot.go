@@ -1,0 +1,80 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lattice/internal/sim"
+)
+
+// Snapshot is the coordinator's aggregate durable state as of record
+// Seq: everything needed to (a) bound log replay and (b) verify that
+// a recovery re-execution reproduced the original run exactly. It
+// deliberately does not try to serialize live machine state — event
+// closures, heaps, open batches — because the simulation is
+// deterministic: Seed plus Inputs regenerate all of that, and the
+// aggregates here are the cross-check.
+type Snapshot struct {
+	Version int      `json:"version"`
+	Seq     uint64   `json:"seq"`
+	At      sim.Time `json:"at"`
+	Seed    int64    `json:"seed"`
+
+	// JournalLen and JournalDigest fingerprint the obs journal prefix
+	// covered by this snapshot: the SHA-256 over the first JournalLen
+	// events, in the journal's own framing.
+	JournalLen    int    `json:"journal_len"`
+	JournalDigest string `json:"journal_digest"`
+
+	// Stability holds the learned per-resource stability EWMAs.
+	Stability map[string]float64 `json:"stability,omitempty"`
+	// Boinc counts workunit state transitions seen so far, by state.
+	Boinc map[string]int `json:"boinc,omitempty"`
+	// Users maps portal tokens to registered email addresses.
+	Users map[string]string `json:"users,omitempty"`
+
+	// Inputs is the full input history from genesis — every
+	// submission and registration record, in sequence order. Recovery
+	// re-injects these; the log tail only adds inputs newer than the
+	// snapshot.
+	Inputs []Record `json:"inputs,omitempty"`
+}
+
+// snapshotVersion is the current Snapshot schema version.
+const snapshotVersion = 1
+
+// writeSnapshot persists snap atomically (temp file + rename, fsync
+// before rename) so a crash mid-write always leaves either the old or
+// the new snapshot intact, never a torn one.
+func writeSnapshot(dir string, snap Snapshot) error {
+	snap.Version = snapshotVersion
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("wal: encoding snapshot: %w", err)
+	}
+	if err := WriteFileAtomic(SnapshotPath(dir), data); err != nil {
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads dir's snapshot, returning (nil, nil) when none
+// exists.
+func readSnapshot(dir string) (*Snapshot, error) {
+	data, err := os.ReadFile(SnapshotPath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("wal: corrupt snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("wal: unsupported snapshot version %d", snap.Version)
+	}
+	return &snap, nil
+}

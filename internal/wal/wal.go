@@ -1,0 +1,286 @@
+// Package wal is the coordinator's crash-consistent durability layer:
+// an append-only, length-prefixed, checksummed write-ahead log plus
+// periodic atomic snapshots. The log records every state transition
+// the coordinator makes — obs journal stages, learned per-resource
+// stability EWMAs, submit-retry backoffs, BOINC workunit state — and,
+// crucially, the *inputs* that caused them (submissions, portal user
+// registrations). Because the simulation is deterministic per seed,
+// inputs plus seed are sufficient to reconstruct the full machine
+// state: recovery re-executes the run from genesis, re-injecting each
+// input at its recorded virtual time, and verifies the regenerated
+// record stream against the log byte-for-byte. Snapshots bound how
+// much log must be read and verified, and truncate the log so disk
+// use stays proportional to work since the last snapshot.
+//
+// The package depends only on the standard library plus the sim and
+// workload value types; it knows nothing about the components that
+// feed it (internal/core owns that adapter).
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// Kind tags what a Record durably witnesses.
+type Kind string
+
+const (
+	// KindGenesis is the first record of every log: the seed the whole
+	// deterministic run derives from.
+	KindGenesis Kind = "genesis"
+	// KindStage mirrors one obs journal event (submit, validate,
+	// place, dispatch, requeue, reissue, quorum, terminal, ...).
+	KindStage Kind = "stage"
+	// KindEWMA records a learned per-resource stability estimate.
+	KindEWMA Kind = "ewma"
+	// KindBackoff records a submit-retry backoff decision.
+	KindBackoff Kind = "backoff"
+	// KindWorkunit records a BOINC workunit/result state transition.
+	KindWorkunit Kind = "workunit"
+	// KindSubmission is an input: a batch submission entering the
+	// coordinator (origin "service", "portal" or "core").
+	KindSubmission Kind = "submission"
+	// KindUser is an input: a portal account registration.
+	KindUser Kind = "portal-user"
+)
+
+// Record is one durable log entry. Seq is a dense 1-based sequence
+// number assigned by the single writer; At is the virtual time the
+// event happened. The remaining fields are a union keyed by Kind —
+// JSON omitempty keeps each frame small.
+type Record struct {
+	Seq  uint64   `json:"seq"`
+	At   sim.Time `json:"at"`
+	Kind Kind     `json:"kind"`
+
+	// KindStage payload (obs.Event fields).
+	Batch    string `json:"batch,omitempty"`
+	Job      string `json:"job,omitempty"`
+	Stage    string `json:"stage,omitempty"`
+	Resource string `json:"resource,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+
+	// KindEWMA stability value or KindBackoff delay in seconds.
+	Value float64 `json:"value,omitempty"`
+	// KindBackoff attempt count.
+	Attempt int `json:"attempt,omitempty"`
+	// KindWorkunit state (created, issued, timeout, failed, returned,
+	// late, done).
+	State string `json:"state,omitempty"`
+
+	// KindSubmission payload.
+	Origin string               `json:"origin,omitempty"`
+	Sub    *workload.Submission `json:"sub,omitempty"`
+	// Pre marks an input that arrived before the engine ever stepped;
+	// recovery applies such inputs before running any events so they
+	// interleave with organic time-zero work exactly as they did live.
+	Pre bool `json:"pre,omitempty"`
+
+	// KindUser payload.
+	Token string `json:"token,omitempty"`
+	Email string `json:"email,omitempty"`
+
+	// KindGenesis payload.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// IsInput reports whether the record is an external input that
+// recovery must re-inject (as opposed to a transition that
+// re-execution regenerates on its own).
+func (r *Record) IsInput() bool {
+	return r.Kind == KindSubmission || r.Kind == KindUser
+}
+
+// Options tunes a Log.
+type Options struct {
+	// SnapshotEvery is the number of appended records between
+	// automatic snapshots (default DefaultSnapshotEvery).
+	SnapshotEvery int
+	// Sync fsyncs the log after every append. Off by default: the
+	// simulation's crash model is process death, which the page cache
+	// survives; power-loss durability costs an fsync per record.
+	Sync bool
+}
+
+// DefaultSnapshotEvery is the automatic snapshot cadence.
+const DefaultSnapshotEvery = 4096
+
+// magic is the log file header. Bump the trailing digits on any
+// incompatible framing change.
+var magic = []byte("LATWAL01")
+
+// frameHeaderSize is the per-record framing overhead: uint32 LE
+// payload length followed by uint32 LE CRC32 (IEEE) of the payload.
+const frameHeaderSize = 8
+
+// maxFrame bounds a single record's payload so a corrupt length field
+// cannot trigger an absurd allocation.
+const maxFrame = 16 << 20
+
+// LogPath returns the log file path inside a durable directory.
+func LogPath(dir string) string { return filepath.Join(dir, "wal.log") }
+
+// SnapshotPath returns the snapshot file path inside a durable
+// directory.
+func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.json") }
+
+// HasState reports whether dir holds recoverable durable state — a
+// snapshot, or a log with at least one complete frame.
+func HasState(dir string) bool {
+	if _, err := os.Stat(SnapshotPath(dir)); err == nil {
+		return true
+	}
+	fi, err := os.Stat(LogPath(dir))
+	return err == nil && fi.Size() > int64(len(magic))
+}
+
+// Log is a single-writer append-only record log. Errors are sticky:
+// after the first failed write every later Append is a no-op and Err
+// reports the original failure, so callers may write hot paths
+// unchecked and inspect the log at checkpoints.
+type Log struct {
+	dir       string
+	f         *os.File
+	opts      Options
+	sinceSnap int
+	source    func() Snapshot
+	err       error
+}
+
+// Create opens a fresh log in dir, creating the directory if needed.
+// It refuses to run over existing durable state — use Load plus Reset
+// (via core.Recover) to resume, or remove the directory to start over.
+func Create(dir string, opts Options) (*Log, error) {
+	if HasState(dir) {
+		return nil, fmt.Errorf("wal: %s already holds durable state; recover or remove it first", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(LogPath(dir), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(magic); err != nil {
+		f.Close() //lint:allow errdrop -- best-effort cleanup after a failed header write
+		return nil, fmt.Errorf("wal: writing header: %w", err)
+	}
+	return newLog(dir, f, opts), nil
+}
+
+// Reset atomically replaces dir's durable state with the given
+// snapshot and an empty log, and returns the log open for appending.
+// This is the post-recovery path: the rebuilt coordinator's state
+// becomes the new baseline and replay history is discarded.
+func Reset(dir string, snap Snapshot, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := writeSnapshot(dir, snap); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(LogPath(dir), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(magic); err != nil {
+		f.Close() //lint:allow errdrop -- best-effort cleanup after a failed header write
+		return nil, fmt.Errorf("wal: writing header: %w", err)
+	}
+	return newLog(dir, f, opts), nil
+}
+
+func newLog(dir string, f *os.File, opts Options) *Log {
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	return &Log{dir: dir, f: f, opts: opts}
+}
+
+// SetSnapshotSource installs the callback that captures the
+// coordinator's aggregate state for automatic snapshots. The callback
+// runs synchronously inside Append, on the writer's goroutine, under
+// whatever locks the writer already holds — it must not call back
+// into the Log.
+func (l *Log) SetSnapshotSource(fn func() Snapshot) { l.source = fn }
+
+// Append writes one record. The caller owns sequence numbering;
+// records must arrive with dense increasing Seq. Failures are sticky
+// (see Err).
+func (l *Log) Append(r Record) {
+	if l.err != nil {
+		return
+	}
+	payload, err := json.Marshal(&r)
+	if err != nil {
+		l.err = fmt.Errorf("wal: encoding record %d: %w", r.Seq, err)
+		return
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		l.err = fmt.Errorf("wal: appending record %d: %w", r.Seq, err)
+		return
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		l.err = fmt.Errorf("wal: appending record %d: %w", r.Seq, err)
+		return
+	}
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: syncing record %d: %w", r.Seq, err)
+			return
+		}
+	}
+	l.sinceSnap++
+	if l.source != nil && l.sinceSnap >= l.opts.SnapshotEvery {
+		l.snapshot(l.source())
+	}
+}
+
+// snapshot persists snap atomically and truncates the log back to its
+// header. Record frames appended between the snapshot rename and the
+// truncate carry Seq <= snap.Seq and are skipped by Load, so a crash
+// anywhere in this window recovers cleanly.
+func (l *Log) snapshot(snap Snapshot) {
+	if err := writeSnapshot(l.dir, snap); err != nil {
+		l.err = err
+		return
+	}
+	if err := l.f.Truncate(int64(len(magic))); err != nil {
+		l.err = fmt.Errorf("wal: truncating log after snapshot: %w", err)
+		return
+	}
+	if _, err := l.f.Seek(int64(len(magic)), 0); err != nil {
+		l.err = fmt.Errorf("wal: seeking log after snapshot: %w", err)
+		return
+	}
+	l.sinceSnap = 0
+}
+
+// Err returns the first write failure, if any.
+func (l *Log) Err() error { return l.err }
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil && l.err == nil {
+		l.err = fmt.Errorf("wal: syncing on close: %w", err)
+	}
+	if err := l.f.Close(); err != nil && l.err == nil {
+		l.err = fmt.Errorf("wal: closing: %w", err)
+	}
+	l.f = nil
+	return l.err
+}

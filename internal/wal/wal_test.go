@@ -1,0 +1,372 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// appendN writes a genesis record plus n-1 synthetic records to a
+// fresh log in dir and closes it.
+func appendN(t *testing.T, dir string, n int, opts Options) {
+	t.Helper()
+	lg, err := Create(dir, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, r := range makeRecords(n) {
+		lg.Append(r)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// makeRecords builds a deterministic mixed-kind record stream of
+// length n starting with genesis.
+func makeRecords(n int) []Record {
+	recs := []Record{{Seq: 1, Kind: KindGenesis, Seed: 42}}
+	for i := 2; i <= n; i++ {
+		at := sim.Time(float64(i) * 1.5)
+		var r Record
+		switch i % 4 {
+		case 0:
+			r = Record{Seq: uint64(i), At: at, Kind: KindStage,
+				Batch: "batch-000001", Job: fmt.Sprintf("j-%04d", i),
+				Stage: "dispatch", Resource: "cluster-a", Detail: "ok"}
+		case 1:
+			r = Record{Seq: uint64(i), At: at, Kind: KindEWMA,
+				Resource: "cluster-a", Value: 0.25 * float64(i%3+1)}
+		case 2:
+			r = Record{Seq: uint64(i), At: at, Kind: KindSubmission,
+				Origin: "service", Sub: &workload.Submission{Replicates: i, UserEmail: "w@example.edu"}}
+		default:
+			r = Record{Seq: uint64(i), At: at, Kind: KindWorkunit,
+				Job: fmt.Sprintf("j-%04d", i), State: "issued", Detail: "issue 1"}
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 9, Options{})
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st == nil || st.Snap != nil {
+		t.Fatalf("want snapshot-less state, got %+v", st)
+	}
+	if st.Seed != 42 || st.LastSeq != 9 || st.Torn {
+		t.Fatalf("seed=%d lastSeq=%d torn=%v", st.Seed, st.LastSeq, st.Torn)
+	}
+	want := makeRecords(9)
+	if len(st.Tail) != len(want) {
+		t.Fatalf("tail length %d, want %d", len(st.Tail), len(want))
+	}
+	for i, r := range st.Tail {
+		got, err1 := json.Marshal(r)
+		exp, err2 := json.Marshal(want[i])
+		if err1 != nil || err2 != nil || string(got) != string(exp) {
+			t.Errorf("record %d: got %s want %s", i, got, exp)
+		}
+	}
+	inputs := st.Inputs()
+	for _, r := range inputs {
+		if !r.IsInput() {
+			t.Errorf("Inputs returned non-input record %+v", r)
+		}
+	}
+	if len(inputs) != 2 { // seqs 2 and 6 are submissions
+		t.Errorf("got %d inputs, want 2", len(inputs))
+	}
+}
+
+func TestHasState(t *testing.T) {
+	dir := t.TempDir()
+	if HasState(dir) {
+		t.Fatal("empty dir reports state")
+	}
+	lg, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if HasState(dir) {
+		t.Fatal("header-only log reports state")
+	}
+	lg.Append(Record{Seq: 1, Kind: KindGenesis, Seed: 1})
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !HasState(dir) {
+		t.Fatal("log with a record reports no state")
+	}
+	if _, err := Create(dir, Options{}); err == nil {
+		t.Fatal("Create over existing state succeeded")
+	}
+}
+
+// TestTornTailEveryOffset is the satellite-2 guarantee: truncating the
+// log at every byte offset inside the final record must yield a clean
+// load of everything before it, flagged Torn — never an error, never
+// a short read of earlier records.
+func TestTornTailEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	const n = 5
+	appendN(t, src, n, Options{})
+	data, err := os.ReadFile(LogPath(src))
+	if err != nil {
+		t.Fatalf("reading log: %v", err)
+	}
+	// Locate the final frame by walking the first n-1.
+	off := len(magic)
+	for i := 0; i < n-1; i++ {
+		_, next, err := decodeFrame(data, off)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		off = next
+	}
+	for cut := off; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(LogPath(dir), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Load(dir)
+		if err != nil {
+			t.Fatalf("cut at %d: Load: %v", cut, err)
+		}
+		wantTorn := cut != off && cut != len(data)
+		if st.Torn != wantTorn {
+			t.Errorf("cut at %d: torn=%v, want %v", cut, st.Torn, wantTorn)
+		}
+		wantTail := n - 1
+		if cut == len(data) {
+			wantTail = n
+		}
+		if len(st.Tail) != wantTail || st.LastSeq != uint64(wantTail) {
+			t.Errorf("cut at %d: %d records (lastSeq %d), want %d",
+				cut, len(st.Tail), st.LastSeq, wantTail)
+		}
+	}
+}
+
+// TestCorruptMidLogFatal pins the other half of the torn-tail rule: a
+// bad record with intact data after it is corruption, not a crash
+// artifact, and must refuse to load.
+func TestCorruptMidLogFatal(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 5, Options{})
+	data, err := os.ReadFile(LogPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the first frame (genesis), leaving the
+	// rest of the log intact.
+	data[len(magic)+frameHeaderSize+2] ^= 0xff
+	if err := os.WriteFile(LogPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "corrupt record mid-log") {
+		t.Fatalf("got %v, want corrupt-record-mid-log error", err)
+	}
+}
+
+func TestSequenceGapFatal(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Append(Record{Seq: 1, Kind: KindGenesis, Seed: 7})
+	lg.Append(Record{Seq: 3, Kind: KindEWMA, Resource: "r", Value: 0.5})
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("got %v, want sequence-gap error", err)
+	}
+}
+
+// TestAutoSnapshot drives the record-count snapshot trigger: the log
+// truncates, the snapshot captures the source state, and Load stitches
+// snapshot plus tail back together.
+func TestAutoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := Create(dir, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := makeRecords(10)
+	var count uint64
+	var inputs []Record
+	lg.SetSnapshotSource(func() Snapshot {
+		return Snapshot{
+			Seq: count, At: sim.Time(float64(count)), Seed: 42,
+			Inputs: append([]Record(nil), inputs...),
+		}
+	})
+	for _, r := range recs {
+		count = r.Seq
+		if r.IsInput() {
+			inputs = append(inputs, r)
+		}
+		lg.Append(r)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st.Snap == nil || st.Snap.Seq != 8 {
+		t.Fatalf("want snapshot at seq 8, got %+v", st.Snap)
+	}
+	if len(st.Tail) != 2 || st.Tail[0].Seq != 9 || st.LastSeq != 10 {
+		t.Fatalf("tail %+v lastSeq %d, want records 9-10", st.Tail, st.LastSeq)
+	}
+	if got := len(st.Inputs()); got != 3 { // seqs 2, 6, 10 are submissions
+		t.Fatalf("got %d inputs, want 3", got)
+	}
+	if st.Seed != 42 {
+		t.Fatalf("seed %d, want 42", st.Seed)
+	}
+}
+
+// TestSnapshotCrashWindow simulates a crash between the snapshot
+// rename and the log truncate: the log still holds frames the snapshot
+// covers, which Load must skip without complaint.
+func TestSnapshotCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 6, Options{})
+	if err := writeSnapshot(dir, Snapshot{Seq: 4, At: 6, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st.Snap == nil || st.Snap.Seq != 4 {
+		t.Fatalf("snapshot not loaded: %+v", st.Snap)
+	}
+	if len(st.Tail) != 2 || st.Tail[0].Seq != 5 || st.LastSeq != 6 {
+		t.Fatalf("tail %+v, want records 5-6", st.Tail)
+	}
+}
+
+func TestResetReplacesState(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 6, Options{})
+	snap := Snapshot{Seq: 6, At: 9, Seed: 42, Stability: map[string]float64{"a": 0.5}}
+	lg, err := Reset(dir, snap, Options{})
+	if err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	lg.Append(Record{Seq: 7, At: 10, Kind: KindEWMA, Resource: "a", Value: 0.6})
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st.Snap == nil || st.Snap.Seq != 6 || st.Snap.Stability["a"] != 0.5 {
+		t.Fatalf("snapshot %+v, want seq 6 stability preserved", st.Snap)
+	}
+	if len(st.Tail) != 1 || st.Tail[0].Seq != 7 {
+		t.Fatalf("tail %+v, want just record 7", st.Tail)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.zip")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("read %q, %v; want v2", got, err)
+	}
+}
+
+// failingReader errors after yielding a prefix — the interrupted
+// writer of the satellite-1 test.
+type failingReader struct{ left int }
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errors.New("interrupted")
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	for i := 0; i < n; i++ {
+		p[i] = 'x'
+	}
+	f.left -= n
+	return n, nil
+}
+
+// TestCopyFileAtomicInterrupted: a write that dies partway must leave
+// the previous artifact byte-for-byte intact and no temp litter.
+func TestCopyFileAtomicInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.zip")
+	if err := WriteFileAtomic(path, []byte("the old archive")); err != nil {
+		t.Fatal(err)
+	}
+	err := CopyFileAtomic(path, io.MultiReader(&failingReader{left: 7}))
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("got %v, want interrupted write error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "the old archive" {
+		t.Fatalf("old artifact damaged: %q, %v", got, rerr)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter left behind: %v", entries)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Append(Record{Seq: 1, Kind: KindGenesis, Seed: 1})
+	if err := lg.f.Close(); err != nil { // yank the file out from under the log
+		t.Fatal(err)
+	}
+	lg.Append(Record{Seq: 2, At: 1, Kind: KindEWMA, Resource: "r", Value: 0.1})
+	if lg.Err() == nil {
+		t.Fatal("write to closed file did not stick")
+	}
+	lg.f = nil // already closed
+	if lg.Close() == nil {
+		t.Fatal("Close lost the sticky error")
+	}
+}
