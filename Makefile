@@ -12,7 +12,11 @@ FAULT_BENCH_PATTERN = FaultScenario
 # EXPERIMENTS.md "Crash recovery".
 WAL_BENCH_PATTERN = WALScenario
 
-.PHONY: all build vet lint test race smoke faults crash check bench bench-smoke bench-json bench-json-faults bench-json-wal
+# Machine-readable analyzer report: every finding, suppressed ones
+# included and marked, for dashboards and suppression audits.
+LINT_ARTIFACT = latticelint.json
+
+.PHONY: all build vet lint lint-fixtures test race smoke faults crash check bench bench-smoke bench-json bench-json-faults bench-json-wal
 
 all: check
 
@@ -23,10 +27,21 @@ vet:
 	$(GO) vet ./...
 
 # latticelint is the project's own analyzer suite (cmd/latticelint):
-# determinism, errdrop, floatcmp, syncmisuse, deadassign. Exits
-# non-zero on any finding.
+# five per-package analyzers (determinism, errdrop, floatcmp,
+# syncmisuse, deadassign) plus three whole-program dataflow analyzers
+# (lockorder, goroleak, taintdet). One run writes the JSON artifact
+# and exits non-zero on any unsuppressed finding; on failure, a second
+# text-mode run prints the findings for humans.
 lint:
-	$(GO) run ./cmd/latticelint ./...
+	$(GO) run ./cmd/latticelint -json ./... > $(LINT_ARTIFACT) || { $(GO) run ./cmd/latticelint ./...; exit 1; }
+
+# lint-fixtures runs the analyzer self-tests under the race detector:
+# every analyzer against its bad/good fixture pair, the combined
+# injector and WAL fixtures, the suppression-marking contract, and the
+# loader edge cases (tests-only package, build-tag exclusion, syntax
+# error).
+lint-fixtures:
+	$(GO) test -race -run 'TestAnalyzerFixtures|TestFaultsInjectorFixture|TestWALFixture|TestGoodFixturesClean|TestSuppressionMarked|TestLoader' ./internal/lint/
 
 test:
 	$(GO) test ./...
@@ -77,8 +92,9 @@ crash:
 	$(GO) test -race -run TestCrashScenarioShape ./internal/experiments/
 
 # check is the full correctness gate: compile, go vet, the project
-# analyzers, the test suite under the race detector (which includes
-# the forest/BOINC concurrency stress tests), the fault-injection
-# scenario under -race, and the grid boot smoke that scrapes /metrics
-# over real HTTP.
-check: build vet lint race faults crash smoke
+# analyzers (failing on any unsuppressed finding), the analyzer
+# fixture self-tests under -race, the test suite under the race
+# detector (which includes the forest/BOINC concurrency stress tests),
+# the fault-injection scenario under -race, and the grid boot smoke
+# that scrapes /metrics over real HTTP.
+check: build vet lint lint-fixtures race faults crash smoke

@@ -105,8 +105,10 @@ func run() error {
 	}
 
 	// Advance virtual time continuously.
+	//lint:allow goroleak -- real-time pump lives for the whole process; the OS reaps it at exit
 	go func() {
 		const tick = 250 * time.Millisecond
+		//lint:allow determinism -- the real-time bridge itself: wall ticks drive virtual time only here, outside any digested path
 		for range time.Tick(tick) {
 			lat.Portal.Pump(sim.Duration(*accel * tick.Seconds()))
 		}
@@ -118,6 +120,7 @@ func run() error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		fmt.Printf("metrics listening on %s\n", ln.Addr())
+		//lint:allow goroleak -- metrics listener serves until process exit; no shutdown path exists by design
 		go func() {
 			if err := http.Serve(ln, metricsMux(lat)); err != nil {
 				fmt.Fprintln(os.Stderr, "lattice: metrics server:", err)
@@ -148,6 +151,7 @@ func runSmoke(lat *core.Lattice) error {
 		return err
 	}
 	srv := &http.Server{Handler: lat.Portal.Handler()}
+	//lint:allow goroleak -- joined by the deferred srv.Close below: Serve returns ErrServerClosed and the goroutine exits
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "lattice: smoke server:", err)

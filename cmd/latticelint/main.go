@@ -1,8 +1,10 @@
 // Command latticelint runs the project's static-analysis suite: five
-// analyzers (determinism, errdrop, floatcmp, syncmisuse, deadassign)
-// that enforce the reproducibility and error-handling discipline the
-// paper reproduction depends on. It is built from the standard
-// library alone and works offline.
+// per-package syntactic analyzers (determinism, errdrop, floatcmp,
+// syncmisuse, deadassign) plus three whole-program dataflow analyzers
+// (lockorder, goroleak, taintdet) that enforce the reproducibility,
+// error-handling and concurrency discipline the paper reproduction
+// depends on. It is built from the standard library alone and works
+// offline.
 //
 // Usage:
 //
@@ -10,20 +12,27 @@
 //
 // Packages default to ./... (every package in the module). A package
 // may be given as ./... or as a directory path. Exit status is 0 when
-// the tree is clean, 1 when findings are reported, and 2 when the
-// tool itself fails (parse or type-check error, bad flags).
+// the tree has no unsuppressed findings, 1 when unsuppressed findings
+// are reported, and 2 when the tool itself fails (parse or type-check
+// error, bad flags).
 //
 // Flags:
 //
-//	-json             emit findings as a JSON array
+//	-json             emit all findings (suppressed included, with a
+//	                  "suppressed" field) as a JSON array
 //	-enable  a,b,...  run only the named analyzers
 //	-disable a,b,...  run all but the named analyzers
-//	-list             print the analyzer suite and exit
+//	-tests            also analyze in-package _test.go files
+//	-list             print the analyzer suite with scopes and exit
 //
 // Findings are suppressed with an in-source escape hatch, placed on
 // the flagged line or alone on the line directly above:
 //
 //	//lint:allow determinism -- reason the wall clock is safe here
+//
+// Suppressed findings still appear in -json output marked
+// "suppressed": true, so the escape hatches stay auditable; they do
+// not affect the exit status.
 package main
 
 import (
@@ -44,17 +53,29 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("latticelint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (suppressed included)")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
-	list := fs.Bool("list", false, "list analyzers and exit")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	list := fs.Bool("list", false, "list analyzers with scopes and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Fprintf(os.Stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+			kind := "package"
+			if a.RunProgram != nil {
+				kind = "program"
+			}
+			scope := "all packages"
+			if len(a.Scope) > 0 {
+				scope = strings.Join(a.Scope, ", ")
+			}
+			if a.Tests {
+				scope += " (+tests)"
+			}
+			fmt.Fprintf(os.Stdout, "%-12s %-8s %-32s %s\n", a.Name, kind, scope, firstLine(a.Doc))
 		}
 		return 0
 	}
@@ -75,6 +96,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "latticelint:", err)
 		return 2
 	}
+	loader.IncludeTests = *tests
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -104,12 +126,16 @@ func run(args []string) int {
 	for _, pkg := range pkgs {
 		findings = append(findings, lint.RunAnalyzers(pkg, analyzers)...)
 	}
+	// The dataflow analyzers see every selected package at once, so
+	// cross-package summaries (lock orders, sink parameters) resolve.
+	findings = append(findings, lint.RunWholeProgram(lint.NewProgram(pkgs), analyzers)...)
 	// Report paths relative to the module root for stable output.
 	for i := range findings {
 		if rel, err := filepath.Rel(modRoot, findings[i].File); err == nil {
 			findings[i].File = rel
 		}
 	}
+	open := lint.Unsuppressed(findings)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -122,13 +148,13 @@ func run(args []string) int {
 			return 2
 		}
 	} else {
-		for _, f := range findings {
+		for _, f := range open {
 			fmt.Fprintln(os.Stdout, f)
 		}
 	}
-	if len(findings) > 0 {
+	if len(open) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "latticelint: %d finding(s)\n", len(findings))
+			fmt.Fprintf(os.Stderr, "latticelint: %d finding(s)\n", len(open))
 		}
 		return 1
 	}

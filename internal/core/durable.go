@@ -157,7 +157,6 @@ func copyMap[V any](m map[string]V) map[string]V {
 		return nil
 	}
 	out := make(map[string]V, len(m))
-	//lint:allow determinism -- copying into a map preserves no order
 	for k, v := range m {
 		out[k] = v
 	}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 
 	"lattice/internal/boinc"
 	"lattice/internal/estimate"
@@ -365,12 +366,14 @@ func (l *Lattice) Resource(name string) (lrm.LRM, bool) {
 	return r, ok
 }
 
-// ResourceNames lists the federation members.
+// ResourceNames lists the federation members in sorted order, so
+// callers that iterate and emit never depend on map layout.
 func (l *Lattice) ResourceNames() []string {
 	names := make([]string, 0, len(l.resources))
 	for n := range l.resources {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 

@@ -151,23 +151,32 @@ func (e *Estimator) AddObservation(spec *workload.JobSpec, refSeconds float64) e
 	return e.ds.Append(Features(spec), math.Log(refSeconds))
 }
 
-// Retrain rebuilds the forest from the current training matrix.
+// Retrain rebuilds the forest from the current training matrix. The
+// matrix is snapshotted under the lock and training runs outside it —
+// tree growing joins worker channels, and holding mu across that
+// would stall every reader for the full training latency.
 func (e *Estimator) Retrain() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.ds.NumRows() < 5 {
-		return fmt.Errorf("estimate: only %d observations; need at least 5 to train", e.ds.NumRows())
+		n := e.ds.NumRows()
+		e.mu.Unlock()
+		return fmt.Errorf("estimate: only %d observations; need at least 5 to train", n)
 	}
-	f, err := forest.Train(e.ds, forest.Config{
-		NumTrees:    e.cfg.NumTrees,
-		MTry:        e.cfg.MTry,
+	ds := e.ds.Clone()
+	cfg := e.cfg
+	e.mu.Unlock()
+	f, err := forest.Train(ds, forest.Config{
+		NumTrees:    cfg.NumTrees,
+		MTry:        cfg.MTry,
 		MinLeafSize: 5,
-		Seed:        e.cfg.Seed,
+		Seed:        cfg.Seed,
 	})
 	if err != nil {
 		return err
 	}
+	e.mu.Lock()
 	e.f = f
+	e.mu.Unlock()
 	return nil
 }
 
@@ -226,26 +235,37 @@ type ModelStats struct {
 // until the training matrix changes.
 func (e *Estimator) Stats() (ModelStats, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.f == nil {
+		e.mu.Unlock()
 		return ModelStats{}, fmt.Errorf("estimate: model not trained")
 	}
 	if e.rawForest == nil || e.rawForestRows != e.ds.NumRows() {
+		// Snapshot the matrix and train outside the lock, like
+		// Retrain: the raw-scale fit is a cache fill, not a critical
+		// section.
 		raw := e.ds.Clone()
+		rows := e.ds.NumRows()
+		cfg := e.cfg
+		e.mu.Unlock()
 		for i, y := range raw.Y {
 			raw.Y[i] = math.Exp(y)
 		}
 		f, err := forest.Train(raw, forest.Config{
-			NumTrees:    e.cfg.NumTrees,
-			MTry:        e.cfg.MTry,
+			NumTrees:    cfg.NumTrees,
+			MTry:        cfg.MTry,
 			MinLeafSize: 5,
-			Seed:        e.cfg.Seed + 1,
+			Seed:        cfg.Seed + 1,
 		})
 		if err != nil {
 			return ModelStats{}, err
 		}
+		e.mu.Lock()
 		e.rawForest = f
-		e.rawForestRows = e.ds.NumRows()
+		e.rawForestRows = rows
+	}
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return ModelStats{}, fmt.Errorf("estimate: model not trained")
 	}
 	return ModelStats{
 		PctVarExplained:    e.f.PercentVarExplained(),

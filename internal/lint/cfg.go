@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the first layer of latticelint's dataflow engine: a
+// per-function control-flow graph. Blocks hold only "atomic" nodes —
+// simple statements and the controlling expressions of compound
+// statements (an if's condition, a switch's tag, the RangeStmt itself
+// for the range operation) — never the bodies of nested control flow,
+// so a dataflow transfer function can scan a block's nodes in
+// evaluation order without double-visiting. Function literals inside
+// a node are NOT executed at that point; analyzers walking block
+// nodes must skip *ast.FuncLit subtrees (see inspectNoLit).
+
+// Block is one straight-line run of nodes ending in a control
+// transfer to its successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is the
+// first block executed; Exit is the single synthetic block every
+// return (and the fall-off-the-end path) feeds. Defers collects the
+// function's defer statements in lexical order: their calls run at
+// Exit, not where they appear.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG constructs the CFG of a function body. The graph is an
+// over-approximation: both branches of every condition are assumed
+// reachable, loops may execute zero or more times, and an unresolved
+// goto falls through to Exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+		gotos:  map[string][]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	// Patch forward gotos whose label was eventually seen; anything
+	// still unresolved conservatively reaches Exit.
+	for name, froms := range b.gotos {
+		to := b.labels[name]
+		if to == nil {
+			to = b.cfg.Exit
+		}
+		for _, from := range froms {
+			b.edge(from, to)
+		}
+	}
+	return b.cfg
+}
+
+type loopFrame struct {
+	label    string
+	brk, cnt *Block // cnt is nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	cur   *Block
+	loops []loopFrame
+	// pendingLabel names the statement about to be built, so labeled
+	// break/continue can find their frame.
+	pendingLabel string
+	labels       map[string]*Block   // goto targets
+	gotos        map[string][]*Block // unresolved forward gotos
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the compound statement
+// being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) push(label string, brk, cnt *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, brk: brk, cnt: cnt})
+}
+
+func (b *cfgBuilder) pop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// frameFor finds the break or continue target, honouring labels.
+func (b *cfgBuilder) frameFor(label string, needCnt bool) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		fr := b.loops[i]
+		if label != "" && fr.label != label {
+			continue
+		}
+		if needCnt {
+			if fr.cnt != nil {
+				return fr.cnt
+			}
+			continue // labeled switch: continue targets the enclosing loop
+		}
+		return fr.brk
+	}
+	return b.cfg.Exit
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto has a well-defined target.
+		nb := b.newBlock()
+		b.edge(b.cur, nb)
+		b.cur = nb
+		b.labels[s.Label.Name] = nb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(head, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.push(label, after, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt node stands for the range operation itself
+		// (evaluating X, assigning Key/Value each iteration).
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.push(label, after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.push(label, after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.pop()
+		if len(s.Body.List) == 0 {
+			b.edge(head, after) // select{} blocks forever; keep after reachable
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, b.frameFor(label, false))
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			b.edge(b.cur, b.frameFor(label, true))
+			b.cur = b.newBlock()
+		case token.GOTO:
+			if to := b.labels[label]; to != nil {
+				b.edge(b.cur, to)
+			} else {
+				b.gotos[label] = append(b.gotos[label], b.cur)
+			}
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled by caseClauses; nothing to record here.
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s) // argument evaluation happens here
+
+	default:
+		// Simple statements: assignments, expressions, sends, go,
+		// declarations, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the clause bodies of a switch or type switch:
+// every clause is entered from the head block (case expressions are
+// evaluated there), fallthrough chains into the next clause body, and
+// a missing default adds a direct head→after edge.
+func (b *cfgBuilder) caseClauses(label string, body *ast.BlockStmt) {
+	head := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	blocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		blocks[i] = b.newBlock()
+	}
+	b.push(label, after, nil)
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+		b.edge(head, blocks[i])
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.pop()
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func fallsThrough(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	br, ok := stmts[len(stmts)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// inspectNoLit walks n in evaluation order like ast.Inspect but does
+// not descend into function literals: a FuncLit's body does not
+// execute where it appears, so dataflow transfer functions must not
+// treat its statements as part of the current block.
+func inspectNoLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

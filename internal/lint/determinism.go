@@ -5,33 +5,31 @@ import (
 	"go/types"
 )
 
-// Determinism flags constructs that make simulator, trainer and
-// scheduler output depend on anything but the seed: wall-clock reads,
-// the global math/rand source, and map iteration feeding an ordered
-// sink. Scoped to the packages whose output the experiments compare
-// run-to-run.
+// Determinism flags the direct nondeterminism sources that make
+// simulator, trainer and scheduler output depend on anything but the
+// seed: wall-clock and timer reads, and the global math/rand source.
+// Map-iteration-order hazards are owned by the taintdet dataflow
+// analyzer, which tracks them to an actual ordered sink instead of
+// flagging every range over a map.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc: `flag wall-clock reads (time.Now/Since/Until), global math/rand
-functions, and map-range loops that feed an ordered sink (append,
-printing, byte/string writers, channel sends) in the deterministic
-core packages. Commutative map-range bodies (sums, counters, max) are
-not flagged. Use //lint:allow determinism for justified exceptions.`,
-	Scope: []string{
-		"internal/sim",
-		"internal/forest",
-		"internal/experiments",
-		"internal/metasched",
-		"internal/obs",
-		"internal/faults",
-		"internal/wal",
-	},
-	Run: runDeterminism,
+	Doc: `flag wall-clock and timer reads (time.Now/Since/Until/Sleep/
+Tick/After/NewTimer/NewTicker) and global math/rand functions in the
+deterministic core and command packages. Map-iteration-order flows are
+handled by taintdet. Use //lint:allow determinism for justified
+exceptions.`,
+	Scope: []string{"internal/...", "cmd/..."},
+	Run:   runDeterminism,
 }
 
 // wallClockFuncs are the time package functions that read the wall
-// clock. Constructors like time.Date or time.Unix are pure.
-var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+// clock or real timers. Constructors like time.Date or time.Unix are
+// pure.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
 
 // globalRandFuncs are the math/rand (and math/rand/v2) package-level
 // functions backed by the shared global source. rand.New and
@@ -50,11 +48,8 @@ var globalRandFuncs = map[string]bool{
 func runDeterminism(p *Pass) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkNondeterministicCall(p, n)
-			case *ast.RangeStmt:
-				checkMapRange(p, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkNondeterministicCall(p, call)
 			}
 			return true
 		})
@@ -69,7 +64,7 @@ func checkNondeterministicCall(p *Pass, call *ast.CallExpr) {
 	switch fn.Pkg().Path() {
 	case "time":
 		if wallClockFuncs[fn.Name()] {
-			p.Reportf(call.Pos(), "call of time.%s reads the wall clock; inject a clock so runs are reproducible", fn.Name())
+			p.Reportf(call.Pos(), "call of time.%s reads the wall clock or a real timer; inject a clock so runs are reproducible", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
 		// Only package-level functions use the global source; methods
@@ -78,57 +73,4 @@ func checkNondeterministicCall(p *Pass, call *ast.CallExpr) {
 			p.Reportf(call.Pos(), "call of rand.%s uses the global math/rand source; use a seeded *rand.Rand (or sim.RNG) instead", fn.Name())
 		}
 	}
-}
-
-// checkMapRange flags map-range loops whose body feeds an ordered
-// sink, making output depend on Go's randomized map iteration order.
-func checkMapRange(p *Pass, rng *ast.RangeStmt) {
-	t := p.TypeOf(rng.X)
-	if t == nil {
-		return
-	}
-	if _, ok := t.Underlying().(*types.Map); !ok {
-		return
-	}
-	var sink string
-	ast.Inspect(rng.Body, func(n ast.Node) bool {
-		if sink != "" {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.SendStmt:
-			sink = "a channel send"
-		case *ast.CallExpr:
-			sink = orderedSink(p, n)
-		}
-		return sink == ""
-	})
-	if sink != "" {
-		p.Reportf(rng.Pos(), "range over map feeds %s: iteration order is randomized; sort the keys first", sink)
-	}
-}
-
-// orderedSink classifies a call inside a map-range body as
-// order-sensitive: appending to a slice, fmt printing, or writing to
-// a byte/string sink.
-func orderedSink(p *Pass, call *ast.CallExpr) string {
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "append" {
-			return "append"
-		}
-	}
-	fn := p.Callee(call)
-	if fn == nil {
-		return ""
-	}
-	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		return "fmt." + fn.Name()
-	}
-	switch fn.Name() {
-	case "Write", "WriteString", "WriteByte", "WriteRune":
-		if fn.Type().(*types.Signature).Recv() != nil {
-			return "a writer"
-		}
-	}
-	return ""
 }

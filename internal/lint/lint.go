@@ -22,18 +22,23 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// Finding is one diagnostic produced by an analyzer.
+// Finding is one diagnostic produced by an analyzer. Suppressed
+// findings (covered by a //lint:allow directive) are retained so
+// machine consumers can audit the escape hatches, but do not fail the
+// run.
 type Finding struct {
-	Analyzer string         `json:"analyzer"`
-	Pos      token.Position `json:"-"`
-	File     string         `json:"file"`
-	Line     int            `json:"line"`
-	Col      int            `json:"col"`
-	Message  string         `json:"message"`
+	Analyzer   string         `json:"analyzer"`
+	Pos        token.Position `json:"-"`
+	File       string         `json:"file"`
+	Line       int            `json:"line"`
+	Col        int            `json:"col"`
+	Message    string         `json:"message"`
+	Suppressed bool           `json:"suppressed"`
 }
 
 func (f Finding) String() string {
@@ -87,14 +92,50 @@ func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// Analyzer is one named check.
+// ProgramPass carries the whole program through one dataflow
+// analyzer.
+type ProgramPass struct {
+	Prog *Program
+
+	analyzer *Analyzer
+	findings *[]Finding
+	fset     *token.FileSet
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Posf formats a position for embedding in a finding message.
+func (p *ProgramPass) Posf(pos token.Pos) string {
+	position := p.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(position.Filename), position.Line)
+}
+
+// Analyzer is one named check: either a per-package syntactic pass
+// (Run) or a whole-program dataflow pass (RunProgram).
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Scope restricts the analyzer to packages whose import path ends
-	// with one of these suffixes. Empty means every package.
+	// with one of these suffixes; a "dir/..." entry matches every
+	// package at or under that directory anywhere in the module.
+	// Empty means every package.
 	Scope []string
-	Run   func(*Pass)
+	// Tests opts the analyzer into _test.go files (when the loader
+	// included them). Analyzers without it never report there.
+	Tests      bool
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
 }
 
 // AppliesTo reports whether the analyzer runs on the package with the
@@ -104,14 +145,27 @@ func (a *Analyzer) AppliesTo(pkgPath string) bool {
 		return true
 	}
 	for _, s := range a.Scope {
-		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) || strings.HasSuffix(pkgPath, s) {
+		if matchScope(pkgPath, s) {
 			return true
 		}
 	}
 	return false
 }
 
-// All returns the full analyzer suite in stable order.
+// matchScope matches one scope entry: either a path-suffix package
+// name or a "dir/..." subtree wildcard ("internal/..." matches
+// lattice/internal/sim and everything below internal/).
+func matchScope(pkgPath, pat string) bool {
+	if base, ok := strings.CutSuffix(pat, "/..."); ok {
+		return pkgPath == base ||
+			strings.HasPrefix(pkgPath, base+"/") ||
+			strings.Contains(pkgPath, "/"+base+"/")
+	}
+	return pkgPath == pat || strings.HasSuffix(pkgPath, "/"+pat) || strings.HasSuffix(pkgPath, pat)
+}
+
+// All returns the full analyzer suite in stable order: the syntactic
+// passes first, then the whole-program dataflow passes.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -119,6 +173,9 @@ func All() []*Analyzer {
 		FloatCmp,
 		SyncMisuse,
 		DeadAssign,
+		LockOrder,
+		GoroLeak,
+		TaintDet,
 	}
 }
 
@@ -132,19 +189,24 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// RunAnalyzers applies each analyzer that is in scope for pkg and
-// returns the surviving findings: suppressed findings (see the
-// //lint:allow directive) are dropped, and the rest are sorted by
-// position.
+// RunAnalyzers applies each per-package analyzer that is in scope for
+// pkg and returns its findings sorted by position, with findings
+// covered by a //lint:allow directive marked Suppressed (use
+// Unsuppressed to drop them). Whole-program analyzers are skipped;
+// run those with RunWholeProgram.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, a := range analyzers {
-		if !a.AppliesTo(pkg.Path) {
+		if a.Run == nil || !a.AppliesTo(pkg.Path) {
 			continue
+		}
+		files := pkg.Files
+		if a.Tests {
+			files = append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
 		}
 		pass := &Pass{
 			Fset:     pkg.Fset,
-			Files:    pkg.Files,
+			Files:    files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			analyzer: a,
@@ -152,7 +214,64 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 		}
 		a.Run(pass)
 	}
-	findings = suppress(pkg, findings)
+	markSuppressed(allowSet(pkg.Fset, pkg.AllFiles()), findings)
+	sortFindings(findings)
+	return findings
+}
+
+// RunWholeProgram applies each dataflow analyzer to the program and
+// returns the findings that land in packages within the analyzer's
+// scope, sorted by position and marked Suppressed where a
+// //lint:allow directive covers them. Findings in _test.go files are
+// kept only for analyzers that opt into tests.
+func RunWholeProgram(prog *Program, analyzers []*Analyzer) []Finding {
+	if len(prog.Packages) == 0 {
+		return nil
+	}
+	fset := prog.Packages[0].Fset
+	var findings []Finding
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		var raw []Finding
+		a.RunProgram(&ProgramPass{
+			Prog:     prog,
+			analyzer: a,
+			findings: &raw,
+			fset:     fset,
+		})
+		for _, f := range raw {
+			if strings.HasSuffix(f.File, "_test.go") && !a.Tests {
+				continue
+			}
+			if pkg := prog.PackageOf(f.File); pkg == nil || !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	var files []*ast.File
+	for _, pkg := range prog.Packages {
+		files = append(files, pkg.AllFiles()...)
+	}
+	markSuppressed(allowSet(fset, files), findings)
+	sortFindings(findings)
+	return findings
+}
+
+// Unsuppressed filters out findings covered by an allow directive.
+func Unsuppressed(findings []Finding) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].File != findings[j].File {
 			return findings[i].File < findings[j].File
@@ -160,25 +279,30 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 		if findings[i].Line != findings[j].Line {
 			return findings[i].Line < findings[j].Line
 		}
-		return findings[i].Col < findings[j].Col
+		if findings[i].Col != findings[j].Col {
+			return findings[i].Col < findings[j].Col
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
 	})
-	return findings
 }
 
 // allowDirective is the comment prefix of the escape hatch.
 const allowDirective = "//lint:allow"
 
-// suppress removes findings covered by an allow directive. A
+// allowKey identifies one (file, line, analyzer) an allow directive
+// covers.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowSet collects every //lint:allow directive in the files. A
 // directive suppresses the listed analyzers on its own line and, when
 // the comment stands alone on a line, on the directly following line.
-func suppress(pkg *Package, findings []Finding) []Finding {
-	type key struct {
-		file     string
-		line     int
-		analyzer string
-	}
-	allowed := map[key]bool{}
-	for _, f := range pkg.Files {
+func allowSet(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allowed := map[allowKey]bool{}
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(c.Text)
@@ -189,32 +313,35 @@ func suppress(pkg *Package, findings []Finding) []Finding {
 				if reason := strings.Index(rest, "--"); reason >= 0 {
 					rest = rest[:reason]
 				}
-				pos := pkg.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				for _, name := range strings.Split(rest, ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
-					allowed[key{pos.Filename, pos.Line, name}] = true
+					allowed[allowKey{pos.Filename, pos.Line, name}] = true
 					// A comment alone on its line covers the next line.
-					if pos.Column == 1 || startsLine(pkg.Fset, f, c) {
-						allowed[key{pos.Filename, pos.Line + 1, name}] = true
+					if pos.Column == 1 || startsLine(fset, f, c) {
+						allowed[allowKey{pos.Filename, pos.Line + 1, name}] = true
 					}
 				}
 			}
 		}
 	}
+	return allowed
+}
+
+// markSuppressed flags findings covered by an allow directive.
+func markSuppressed(allowed map[allowKey]bool, findings []Finding) {
 	if len(allowed) == 0 {
-		return findings
+		return
 	}
-	kept := findings[:0]
-	for _, fd := range findings {
-		if allowed[key{fd.File, fd.Line, fd.Analyzer}] || allowed[key{fd.File, fd.Line, "all"}] {
-			continue
+	for i := range findings {
+		fd := &findings[i]
+		if allowed[allowKey{fd.File, fd.Line, fd.Analyzer}] || allowed[allowKey{fd.File, fd.Line, "all"}] {
+			fd.Suppressed = true
 		}
-		kept = append(kept, fd)
 	}
-	return kept
 }
 
 // startsLine reports whether comment c is the first token on its line

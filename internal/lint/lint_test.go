@@ -45,25 +45,34 @@ func sharedLoader(t *testing.T) *Loader {
 // runFixture loads the named fixture package and applies a single
 // analyzer directly (fixtures live under testdata/, outside any
 // analyzer's Scope), then applies directive suppression exactly as
-// RunAnalyzers would.
+// RunAnalyzers would: suppressed findings are marked and dropped.
+// Whole-program analyzers run over a single-package program built
+// from the fixture.
 func runFixture(t *testing.T, a *Analyzer, name string) []Finding {
 	t.Helper()
-	l := sharedLoader(t)
-	pkg, err := l.LoadDir(filepath.Join("internal", "lint", "testdata", "src", name))
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", name, err)
-	}
+	pkg := loadFixture(t, name)
 	var findings []Finding
-	pass := &Pass{
-		Fset:     pkg.Fset,
-		Files:    pkg.Files,
-		Pkg:      pkg.Types,
-		Info:     pkg.Info,
-		analyzer: a,
-		findings: &findings,
+	if a.Run != nil {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			findings: &findings,
+		}
+		a.Run(pass)
 	}
-	a.Run(pass)
-	findings = suppress(pkg, findings)
+	if a.RunProgram != nil {
+		a.RunProgram(&ProgramPass{
+			Prog:     NewProgram([]*Package{pkg}),
+			analyzer: a,
+			findings: &findings,
+			fset:     pkg.Fset,
+		})
+	}
+	markSuppressed(allowSet(pkg.Fset, pkg.AllFiles()), findings)
+	findings = Unsuppressed(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].File != findings[j].File {
 			return findings[i].File < findings[j].File
@@ -71,6 +80,16 @@ func runFixture(t *testing.T, a *Analyzer, name string) []Finding {
 		return findings[i].Line < findings[j].Line
 	})
 	return findings
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("internal", "lint", "testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
 }
 
 // expectation is one "// want:" comment in a fixture file.
@@ -122,6 +141,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{FloatCmp, "floatcmp"},
 		{SyncMisuse, "syncmisuse"},
 		{DeadAssign, "deadassign"},
+		{LockOrder, "lockorder"},
+		{GoroLeak, "goroleak"},
+		{TaintDet, "taintdet"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -170,7 +192,7 @@ func matchWants(t *testing.T, fixture string, findings []Finding) {
 // fixture, with the good-file look-alikes staying clean.
 func TestFaultsInjectorFixture(t *testing.T) {
 	var findings []Finding
-	for _, a := range []*Analyzer{Determinism, ErrDrop, FloatCmp} {
+	for _, a := range []*Analyzer{Determinism, ErrDrop, FloatCmp, TaintDet} {
 		findings = append(findings, runFixture(t, a, "faultsinj")...)
 	}
 	matchWants(t, "faultsinj", findings)
@@ -181,7 +203,7 @@ func TestFaultsInjectorFixture(t *testing.T) {
 // combined fixture, with the good-file look-alikes staying clean.
 func TestWALFixture(t *testing.T) {
 	var findings []Finding
-	for _, a := range []*Analyzer{Determinism, ErrDrop} {
+	for _, a := range []*Analyzer{Determinism, ErrDrop, TaintDet} {
 		findings = append(findings, runFixture(t, a, "wal")...)
 	}
 	matchWants(t, "wal", findings)
@@ -217,8 +239,14 @@ func TestAnalyzerScope(t *testing.T) {
 		{Determinism, "lattice/internal/metasched", true},
 		{Determinism, "lattice/internal/faults", true},
 		{Determinism, "lattice/internal/wal", true},
-		{Determinism, "lattice/internal/portal", false},
-		{Determinism, "lattice/cmd/latticelint", false},
+		{Determinism, "lattice/internal/portal", true},
+		{Determinism, "lattice/cmd/latticelint", true},
+		{Determinism, "lattice/examples/portalrun", false},
+		{LockOrder, "lattice/internal/boinc", true},
+		{LockOrder, "lattice/examples/portalrun", false},
+		{GoroLeak, "lattice/examples/portalrun", true},
+		{TaintDet, "lattice/cmd/lattice", true},
+		{TaintDet, "lattice/internal/obs", true},
 		{FloatCmp, "lattice/internal/phylo", true},
 		{FloatCmp, "lattice/internal/estimate", true},
 		{FloatCmp, "lattice/internal/forest", true},
@@ -245,6 +273,53 @@ func TestByName(t *testing.T) {
 	if ByName("nosuch") != nil {
 		t.Error("ByName of an unknown name should be nil")
 	}
+}
+
+// TestSuppressionMarked pins the escape-hatch contract: a finding
+// covered by //lint:allow is retained and marked Suppressed (so -json
+// consumers can audit the hatches), not silently dropped, and
+// Unsuppressed filters exactly those findings out.
+func TestSuppressionMarked(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	findings := RunAnalyzers(pkg, All())
+	findings = append(findings, RunWholeProgramAll(t, pkg)...)
+	var suppressed, open int
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+		} else {
+			open++
+		}
+	}
+	if suppressed == 0 {
+		t.Fatal("suppress fixture produced no suppressed findings")
+	}
+	if open == 0 {
+		t.Fatal("suppress fixture produced no unsuppressed findings")
+	}
+	if got := len(Unsuppressed(findings)); got != open {
+		t.Errorf("Unsuppressed kept %d findings, want %d", got, open)
+	}
+}
+
+// RunWholeProgramAll runs every dataflow analyzer over a one-package
+// program without scope filtering (fixtures live outside all scopes).
+func RunWholeProgramAll(t *testing.T, pkg *Package) []Finding {
+	t.Helper()
+	var findings []Finding
+	for _, a := range All() {
+		if a.RunProgram == nil {
+			continue
+		}
+		a.RunProgram(&ProgramPass{
+			Prog:     NewProgram([]*Package{pkg}),
+			analyzer: a,
+			findings: &findings,
+			fset:     pkg.Fset,
+		})
+	}
+	markSuppressed(allowSet(pkg.Fset, pkg.AllFiles()), findings)
+	return findings
 }
 
 // TestFindingString pins the human-readable diagnostic format the

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -19,18 +20,40 @@ type Package struct {
 	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	// TestFiles are the package's in-package _test.go files, present
+	// only when the loader's IncludeTests is set. They are
+	// type-checked into the same *types.Package and Info as Files.
+	// External test packages (package foo_test) are not loaded.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+
+	testsLoaded bool
+}
+
+// AllFiles returns source and (when loaded) test files.
+func (p *Package) AllFiles() []*ast.File {
+	if len(p.TestFiles) == 0 {
+		return p.Files
+	}
+	return append(append([]*ast.File{}, p.Files...), p.TestFiles...)
 }
 
 // Loader parses and type-checks packages of a single module using
 // only the standard library: module-local imports are resolved by
 // walking the module tree, everything else (the standard library) is
 // type-checked from source by go/importer's "source" importer. No
-// network, no GOPATH, no export data needed.
+// network, no GOPATH, no export data needed. Files excluded by build
+// constraints for the current GOOS/GOARCH are skipped, mirroring the
+// go tool.
 type Loader struct {
 	ModRoot string
 	ModPath string
+	// IncludeTests also loads each package's in-package _test.go
+	// files. Test files are attached after the base package
+	// type-checks, so a test-only import cycle (B's tests import A, A
+	// imports B) cannot wedge the loader.
+	IncludeTests bool
 
 	fset  *token.FileSet
 	std   types.Importer
@@ -95,7 +118,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		if hasGoFiles(path) {
+		if l.hasGoFiles(path) {
 			dirs = append(dirs, path)
 		}
 		return nil
@@ -115,13 +138,19 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	return pkgs, nil
 }
 
-func hasGoFiles(dir string) bool {
+// hasGoFiles reports whether dir holds loadable Go source: non-test
+// files always, test files too when IncludeTests is set (a package
+// with only tests is still a package then).
+func (l *Loader) hasGoFiles(dir string) bool {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return false
 	}
 	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), "_test.go") || l.IncludeTests {
 			return true
 		}
 	}
@@ -143,7 +172,14 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if rel != "." {
 		path = l.ModPath + "/" + filepath.ToSlash(rel)
 	}
-	return l.load(path, abs)
+	pkg, err := l.load(path, abs)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.attachTests(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
 }
 
 // Load loads the package with the given import path; the path must be
@@ -170,31 +206,18 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if pkg, ok := l.cache[path]; ok {
 		return pkg, nil
 	}
-	ents, err := os.ReadDir(dir)
+	files, err := l.parseDir(dir, false)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
+	info := newInfo()
 	if len(files) == 0 {
+		// A package may consist only of tests (or only of files
+		// excluded by build constraints, which is an error).
+		if l.IncludeTests {
+			return l.loadTestsOnly(path, dir, info)
+		}
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
-	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Implicits:  map[ast.Node]types.Object{},
-		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{Importer: (*modImporter)(l)}
 	tpkg, err := conf.Check(path, l.fset, files, info)
@@ -204,6 +227,107 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// parseDir parses the directory's source files (tests=false) or its
+// _test.go files (tests=true), skipping files excluded by build
+// constraints for the current GOOS/GOARCH — a //go:build linux file
+// on darwin would otherwise poison type checking with duplicate or
+// dangling declarations.
+func (l *Loader) parseDir(dir string, tests bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") != tests {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			continue // excluded by build constraints (or unreadable: surfaces elsewhere)
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loadTestsOnly type-checks a package that has no non-test sources:
+// its in-package test files form the whole unit.
+func (l *Loader) loadTestsOnly(path, dir string, info *types.Info) (*Package, error) {
+	all, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, f := range all {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: (*modImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path: path, Dir: dir, Fset: l.fset,
+		TestFiles: files, Types: tpkg, Info: info, testsLoaded: true,
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// attachTests type-checks the package's in-package _test.go files
+// into the already-checked package. Called only from the top-level
+// entry points, never from the importer, so dependency loads stay
+// test-free and test-only import cycles terminate. External test
+// packages (package foo_test) are skipped: they cannot be merged into
+// the package's type scope.
+func (l *Loader) attachTests(pkg *Package) error {
+	if !l.IncludeTests || pkg.testsLoaded {
+		return nil
+	}
+	pkg.testsLoaded = true
+	all, err := l.parseDir(pkg.Dir, true)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	for _, f := range all {
+		if f.Name.Name == pkg.Types.Name() {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	conf := types.Config{Importer: (*modImporter)(l)}
+	checker := types.NewChecker(&conf, l.fset, pkg.Types, pkg.Info)
+	if err := checker.Files(files); err != nil {
+		return fmt.Errorf("lint: type-checking tests of %s: %w", pkg.Path, err)
+	}
+	pkg.TestFiles = files
+	return nil
 }
 
 // modImporter resolves imports during type checking: module-local

@@ -1,0 +1,6 @@
+// Package broken is a deliberate syntax error: the loader must report
+// it as a parse error, never panic or silently skip the file.
+package broken
+
+func Torn(x int {
+	return x

@@ -1,0 +1,9 @@
+//go:build lattice_never
+
+package buildtags
+
+// This Platform collides with keep.go's: if the loader ignored the
+// build constraint above, type checking would fail with a duplicate
+// declaration. The constraint tag is never set, so the file must be
+// skipped on every platform.
+func Platform() string { return "never" }

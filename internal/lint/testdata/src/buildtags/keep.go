@@ -1,0 +1,4 @@
+package buildtags
+
+// Platform reports which file satisfied the build constraints.
+func Platform() string { return "portable" }

@@ -4,7 +4,6 @@
 package determinism
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 )
@@ -25,16 +24,14 @@ func Shuffle(xs []int) {
 	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: rand.Shuffle uses the global math/rand source
 }
 
-func Keys(m map[string]int) []string {
-	var out []string
-	for k := range m { // want: range over map feeds append
-		out = append(out, k)
-	}
-	return out
+func Pace() {
+	time.Sleep(time.Second) // want: time.Sleep reads the wall clock or a real timer
 }
 
-func Dump(m map[string]int) {
-	for k, v := range m { // want: range over map feeds fmt.Println
-		fmt.Println(k, v)
-	}
+func Poll() <-chan time.Time {
+	return time.Tick(time.Second) // want: time.Tick reads the wall clock or a real timer
+}
+
+func Arm() *time.Timer {
+	return time.NewTimer(time.Minute) // want: time.NewTimer reads the wall clock or a real timer
 }

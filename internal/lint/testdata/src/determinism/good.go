@@ -30,14 +30,19 @@ func Sum(m map[string]int) int {
 	return total
 }
 
-// Collect-then-sort is order-safe end to end; the intermediate append
-// is waived explicitly.
+// Collect-then-sort is order-safe end to end; map-order flows are
+// taintdet's job now, and it proves this one clean — no escape hatch.
 func SortedKeys(m map[string]int) []string {
 	keys := make([]string, 0, len(m))
-	//lint:allow determinism -- keys are sorted immediately below
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// The suppression escape hatch: a justified wall-clock read stays
+// silent under the directive.
+func WallStart() time.Time {
+	return time.Now() //lint:allow determinism -- process start stamp, never digested
 }

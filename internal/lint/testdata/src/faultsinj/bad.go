@@ -5,6 +5,7 @@ package faultsinj
 
 import (
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -13,14 +14,15 @@ type target struct{ name string }
 
 func (t *target) Submit() error { return errors.New(t.name + " is down") }
 
-// DrainAll cancels in-flight work per resource — map iteration
-// feeding an ordered sink, which would make the kill order (and so
-// the whole downstream journal) depend on map layout.
+// DrainAll cancels in-flight work per resource — the kill order is
+// collected in map-iteration order and emitted unsorted, which would
+// make the whole downstream journal depend on map layout.
 func DrainAll(targets map[string]*target) []string {
 	var order []string
-	for name := range targets { // want: range over map feeds append
+	for name := range targets {
 		order = append(order, name)
 	}
+	fmt.Println(order) // want: slice built in map iteration order
 	return order
 }
 

@@ -1,0 +1,49 @@
+// Fixture: goroutine launches the goroleak analyzer must flag — no
+// WaitGroup, no channel the parent receives from, no stop hook. Each
+// flagged line carries a "// want:" comment.
+package goroleak
+
+import "time"
+
+// FireAndForget launches an unbounded worker nobody can stop or wait
+// for — it outlives recovery re-execution.
+func FireAndForget(work func()) {
+	go func() { // want: goroutine has no join or stop path
+		for {
+			work()
+		}
+	}()
+}
+
+// TickerLeak ranges over an anonymous ticker channel: unstoppable by
+// construction, since nobody holds the ticker.
+func TickerLeak(work func()) {
+	go func() { // want: goroutine has no join or stop path
+		for range time.Tick(time.Second) {
+			work()
+		}
+	}()
+}
+
+// spin is a named leak target: the body is visible in the module, so
+// the launch is checked through the call graph.
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func NamedLeak() {
+	go spin() // want: goroutine has no join or stop path
+}
+
+// DeadLetter sends on a channel the parent never receives from — the
+// send blocks forever once the buffer fills, stranding the goroutine.
+func DeadLetter(vs []int) {
+	ch := make(chan int, 1)
+	go func() { // want: goroutine has no join or stop path
+		for _, v := range vs {
+			ch <- v
+		}
+	}()
+}

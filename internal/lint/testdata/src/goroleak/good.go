@@ -1,0 +1,94 @@
+// Fixture: goroutine launches the goroleak analyzer must NOT flag —
+// every join and stop discipline the coordinator uses.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Joined is the WaitGroup discipline: Done in the goroutine, Wait in
+// the parent.
+func Joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ResultChannel is the classic collect join: the parent receives the
+// goroutine's send.
+func ResultChannel(compute func() int) int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+// CloseSignal joins on the goroutine closing its done channel.
+func CloseSignal(work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// StopChannel gives the goroutine a select on an owner-closable stop
+// channel.
+func StopChannel(work func(), stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// WorkerPool drains an owner-closable work channel; closing jobs ends
+// the goroutine.
+func WorkerPool(jobs chan int, handle func(int)) {
+	go func() {
+		for j := range jobs {
+			handle(j)
+		}
+	}()
+}
+
+// ContextBound stops when the caller cancels the context.
+func ContextBound(ctx context.Context, work func()) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Waived documents a justified process-lifetime goroutine through the
+// escape hatch.
+func Waived(serve func()) {
+	go serveForever(serve) //lint:allow goroleak -- process-lifetime acceptor; the OS reaps it at exit
+}
+
+func serveForever(serve func()) {
+	for {
+		serve()
+	}
+}

@@ -1,0 +1,78 @@
+// Fixture: lock-discipline hazards the lockorder analyzer must flag.
+// Each flagged line carries a "// want:" comment with a substring of
+// the expected diagnostic.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+// reg is a stand-in for the coordinator's shared tables.
+type reg struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	mu sync.Mutex
+	ch chan int
+	cb func()
+}
+
+// AThenB and BThenA acquire the same two lock classes in opposite
+// orders — the classic ABBA deadlock, visible only whole-program.
+func (r *reg) AThenB() {
+	r.a.Lock()
+	r.b.Lock() // want: inconsistent lock order
+	r.b.Unlock()
+	r.a.Unlock()
+}
+
+func (r *reg) BThenA() {
+	r.b.Lock()
+	r.a.Lock() // want: inconsistent lock order
+	r.a.Unlock()
+	r.b.Unlock()
+}
+
+// DoubleLock re-enters the held write lock directly.
+func (r *reg) DoubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want: acquired while an instance is already held
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Reenter deadlocks through the call graph: the callee acquires the
+// lock class the caller already holds.
+func (r *reg) Reenter() {
+	r.mu.Lock()
+	r.bump() // want: the callee acquires the same lock class
+	r.mu.Unlock()
+}
+
+func (r *reg) bump() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// Notify invokes a caller-supplied callback with the lock held — the
+// bug class the BOINC server was race-hardened against by hand.
+func (r *reg) Notify() {
+	r.mu.Lock()
+	r.cb() // want: callback invoked while holding
+	r.mu.Unlock()
+}
+
+// Publish sends on a channel with the lock held: a full channel
+// blocks every other user of the lock.
+func (r *reg) Publish(v int) {
+	r.mu.Lock()
+	r.ch <- v // want: channel send while holding
+	r.mu.Unlock()
+}
+
+// Throttle sleeps with the lock held.
+func (r *reg) Throttle() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want: blocking I/O while holding
+	r.mu.Unlock()
+}

@@ -1,0 +1,92 @@
+// Fixture: lock-discipline look-alikes the lockorder analyzer must
+// NOT flag — the sanctioned forms of everything bad.go does wrong.
+package lockorder
+
+import "sync"
+
+// safe mirrors reg but is used only with correct discipline; it has
+// its own lock classes so bad.go's pair table cannot contaminate it.
+type safe struct {
+	x  sync.Mutex
+	y  sync.Mutex
+	mu sync.RWMutex
+	ch chan int
+	cb func()
+}
+
+// ConsistentOne and ConsistentTwo take x before y at every site: one
+// global order, no finding.
+func (s *safe) ConsistentOne() {
+	s.x.Lock()
+	s.y.Lock()
+	s.y.Unlock()
+	s.x.Unlock()
+}
+
+func (s *safe) ConsistentTwo() {
+	s.x.Lock()
+	defer s.x.Unlock()
+	s.y.Lock()
+	defer s.y.Unlock()
+}
+
+// CallbackAfterUnlock snapshots under the lock and invokes the
+// callback outside it — the sanctioned form.
+func (s *safe) CallbackAfterUnlock() {
+	s.mu.Lock()
+	cb := s.cb
+	s.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// SendAfterUnlock releases before the channel operation.
+func (s *safe) SendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// SpawnWorker launches the lock-taking work on another goroutine: the
+// caller's held set does not transfer, so there is no re-entry.
+func (s *safe) SpawnWorker(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.work()
+		done <- struct{}{}
+	}()
+}
+
+func (s *safe) work() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// ReadReentry takes the read lock twice — legal for RWMutex readers
+// and not a write-lock self-deadlock.
+func (s *safe) ReadReentry() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return 0
+}
+
+// DistinctLocals: two local mutexes nest in one order only.
+func DistinctLocals() {
+	var m1, m2 sync.Mutex
+	m1.Lock()
+	m2.Lock()
+	m2.Unlock()
+	m1.Unlock()
+}
+
+// WaivedSend documents a justified exception through the escape
+// hatch: the channel is buffered and drained by construction.
+func (s *safe) WaivedSend(v int) {
+	s.mu.Lock()
+	s.ch <- v //lint:allow lockorder -- channel is buffered to capacity and drained by the owner
+	s.mu.Unlock()
+}

@@ -1,0 +1,32 @@
+// Fixture for the suppression contract: the same construct appears
+// twice, once waived and once open. The engine must retain the waived
+// finding marked Suppressed (so -json consumers can audit the escape
+// hatches) and keep the open one unsuppressed.
+package suppress
+
+import "time"
+
+func WaivedStamp() time.Time {
+	return time.Now() //lint:allow determinism -- fixture: suppression must mark, not drop
+}
+
+func OpenStamp() time.Time {
+	return time.Now()
+}
+
+func WaivedLeak(work func()) {
+	//lint:allow goroleak -- fixture: standalone directive covers the next line
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func OpenLeak(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

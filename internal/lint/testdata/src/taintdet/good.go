@@ -1,0 +1,63 @@
+// Fixture: deterministic look-alikes the taintdet analyzer must NOT
+// flag — sanitized, commutative, or sink-free forms of everything
+// bad.go does wrong.
+package taintdet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lattice/internal/obs"
+)
+
+// SortedEmit is the sanctioned serialization: collect, sort, emit.
+// The sort call sanitizes the slice's order taint.
+func SortedEmit(m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	fmt.Println(strings.Join(ks, ","))
+}
+
+// CopyMap carries no order at all: map-to-map insertion is
+// order-insensitive.
+func CopyMap(src map[string]string) map[string]string {
+	dst := make(map[string]string, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// SumCounts is commutative: a sum does not observe iteration order.
+func SumCounts(counts map[string]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Println(total)
+	return total
+}
+
+// PrintNow prints a timestamp to the console — an interactive
+// convenience, not a digested output, so value taint stays silent
+// outside the obs/WAL sinks.
+func PrintNow() {
+	fmt.Println(time.Now())
+}
+
+// RecordStatic journals a constant detail: nothing tainted flows in.
+func RecordStatic(j *obs.Journal) {
+	j.Record("batch", "job", obs.StageComplete, "res", "requeued after fault")
+}
+
+// WaivedStamp documents a justified exception through the escape
+// hatch.
+func WaivedStamp(j *obs.Journal) {
+	boot := time.Now().String()
+	j.Record("batch", "job", obs.StageComplete, "res", boot) //lint:allow taintdet -- boot banner event, excluded from the digest comparison
+}

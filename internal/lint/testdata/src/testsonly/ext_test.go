@@ -1,0 +1,5 @@
+package testsonly_test
+
+// An external test package cannot be merged into the package's type
+// scope; the loader must skip this file rather than choke on it.
+func double(x int) int { return 2 * x }

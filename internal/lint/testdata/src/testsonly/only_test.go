@@ -1,0 +1,7 @@
+package testsonly
+
+// helper lives in a package that has no non-test sources at all: the
+// in-package test files form the whole compilation unit. The loader
+// must still produce a type-checked package when IncludeTests is set,
+// and must report "no Go files" when it is not.
+func helper(x int) int { return x + 1 }

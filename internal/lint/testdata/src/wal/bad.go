@@ -5,6 +5,7 @@
 package wal
 
 import (
+	"bytes"
 	"errors"
 	"time"
 )
@@ -15,15 +16,15 @@ type log struct{ n int }
 func (l *log) Append(rec string) error { l.n++; return errors.New("disk full") }
 func (l *log) Close() error            { return errors.New("close failed") }
 
-// SnapshotInputs serializes the input map — map iteration feeding an
-// ordered sink, which would make the snapshot bytes (and so the
-// recovery verification digest) depend on map layout.
-func SnapshotInputs(inputs map[string]string) []string {
-	var out []string
-	for k, v := range inputs { // want: range over map feeds append
-		out = append(out, k+"="+v)
+// SnapshotInputs serializes the input map — map iteration feeding a
+// writer, which would make the snapshot bytes (and so the recovery
+// verification digest) depend on map layout.
+func SnapshotInputs(inputs map[string]string) []byte {
+	var buf bytes.Buffer
+	for k, v := range inputs {
+		buf.WriteString(k + "=" + v + "\n") // want: range over map feeds a writer
 	}
-	return out
+	return buf.Bytes()
 }
 
 // StampRecord timestamps a durable record with the wall clock instead

@@ -1,0 +1,5 @@
+package withtests_test
+
+// External test packages (package foo_test) are skipped by the
+// loader: they cannot be merged into the package's type scope.
+func quadruple(x int) int { return 4 * x }

@@ -1,0 +1,5 @@
+package withtests
+
+// Double is exercised by the in-package test file, which the loader
+// attaches to this package when IncludeTests is set.
+func Double(x int) int { return 2 * x }

@@ -1,0 +1,6 @@
+package withtests
+
+// checkDouble is an in-package test helper: the loader must type-check
+// it into the same *types.Package as w.go, so analyzers see test code
+// with full type information.
+func checkDouble() bool { return Double(2) == 4 }

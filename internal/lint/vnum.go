@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ValueNums is the SSA-lite value-numbering pass of the dataflow
+// engine: within one function it assigns every expression a value
+// number such that copies share a number. `m := &s.mu` gives m the
+// number of s.mu, so a lock acquired through the alias resolves to
+// the same lock identity; `t := now()` gives t the number of the call
+// result, so taint attached to that number follows the variable. The
+// pass is flow-insensitive (one number per variable, last assignment
+// wins within a pass), which is a sound over-approximation for the
+// may-analyses built on top.
+type ValueNums struct {
+	info  *types.Info
+	next  int
+	byObj map[types.Object]int
+	byKey map[string]int // composite keys: field selections off a numbered base
+	canon map[int]string // canonical source-level name for a number, when known
+}
+
+// NewValueNums builds the numbering for one function body (or any
+// statement tree) using the package's type information.
+func NewValueNums(info *types.Info, body ast.Node) *ValueNums {
+	v := &ValueNums{
+		info:  info,
+		byObj: map[types.Object]int{},
+		byKey: map[string]int{},
+		canon: map[int]string{},
+	}
+	if body != nil {
+		// Record copy relations. Function literals capture outer
+		// variables, so their assignments participate too.
+		ast.Inspect(body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+				for i := range as.Lhs {
+					v.Assign(as.Lhs[i], as.Rhs[i])
+				}
+			}
+			return true
+		})
+	}
+	return v
+}
+
+func (v *ValueNums) fresh() int {
+	v.next++
+	return v.next
+}
+
+// NumberOf returns the value number of e, creating one if needed.
+// Parentheses, address-of and dereference are transparent: &x, *p and
+// x number alike, which is exactly what lock-identity and taint
+// propagation want.
+func (v *ValueNums) NumberOf(e ast.Expr) int {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := v.info.ObjectOf(e)
+		if obj == nil {
+			return v.fresh()
+		}
+		n, ok := v.byObj[obj]
+		if !ok {
+			n = v.fresh()
+			v.byObj[obj] = n
+			v.canon[n] = v.canonIdent(e, obj)
+		}
+		return n
+	case *ast.SelectorExpr:
+		base := v.NumberOf(e.X)
+		key := fmt.Sprintf("%d.%s", base, e.Sel.Name)
+		n, ok := v.byKey[key]
+		if !ok {
+			n = v.fresh()
+			v.byKey[key] = n
+			if bc, ok := v.canon[base]; ok {
+				v.canon[n] = bc + "." + e.Sel.Name
+			}
+		}
+		return n
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return v.NumberOf(e.X)
+		}
+	case *ast.StarExpr:
+		return v.NumberOf(e.X)
+	case *ast.IndexExpr:
+		// All elements of one container share a number: container
+		// granularity is the right precision for lock classes and
+		// taint.
+		base := v.NumberOf(e.X)
+		key := fmt.Sprintf("%d.[]", base)
+		n, ok := v.byKey[key]
+		if !ok {
+			n = v.fresh()
+			v.byKey[key] = n
+			if bc, ok := v.canon[base]; ok {
+				v.canon[n] = bc + "[...]"
+			}
+		}
+		return n
+	}
+	return v.fresh()
+}
+
+// Assign records the copy relation of one assignment pair: the
+// left-hand variable takes the right-hand side's value number. Append
+// back into the same slice keeps the slice's number stable so taint
+// survives the classic accumulate loop.
+func (v *ValueNums) Assign(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := v.info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" && len(call.Args) > 0 {
+			if _, isBuiltin := v.info.ObjectOf(fid).(*types.Builtin); isBuiltin {
+				// x = append(x, ...): keep x's number.
+				if _, ok := v.byObj[obj]; ok {
+					return
+				}
+				v.byObj[obj] = v.NumberOf(call.Args[0])
+				return
+			}
+		}
+		// Other calls produce fresh values; leave the variable's
+		// number to be created on first use.
+		return
+	}
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.UnaryExpr, *ast.StarExpr, *ast.IndexExpr:
+		v.byObj[obj] = v.NumberOf(rhs)
+	}
+}
+
+// Canon returns a stable, whole-program canonical name for the value
+// e: fields of a named type resolve to "pkgpath.Type.field" (merging
+// every instance of the lock class), package-level variables to
+// "pkgpath.name", and locals to a position-qualified name unique to
+// their function. The empty string means no useful name exists.
+func (v *ValueNums) Canon(e ast.Expr) string {
+	n := v.NumberOf(e)
+	if c, ok := v.canon[n]; ok {
+		return c
+	}
+	// Selector chains canonicalise through the receiver's type: s.mu
+	// on any *Server is the lock class Server.mu.
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if tc := v.typeCanon(sel.X); tc != "" {
+			c := tc + "." + sel.Sel.Name
+			v.canon[n] = c
+			return c
+		}
+		if bc := v.Canon(sel.X); bc != "" {
+			c := bc + "." + sel.Sel.Name
+			v.canon[n] = c
+			return c
+		}
+	}
+	return ""
+}
+
+// canonIdent names the object behind a plain identifier.
+func (v *ValueNums) canonIdent(id *ast.Ident, obj types.Object) string {
+	vr, ok := obj.(*types.Var)
+	if !ok {
+		return ""
+	}
+	if vr.Pkg() != nil && !vr.IsField() && vr.Parent() == vr.Pkg().Scope() {
+		return vr.Pkg().Path() + "." + vr.Name() // package-level variable
+	}
+	// A sync.Mutex local must stay distinct from every other one, so
+	// class-granularity naming applies only to module-defined types.
+	if tc := v.typeCanonOf(vr.Type()); tc != "" && !isSyncType(vr.Type()) {
+		return tc // receiver/parameter of a named type: class granularity
+	}
+	// Function-local: unique per declaration site.
+	return fmt.Sprintf("local.%s@%d", vr.Name(), vr.Pos())
+}
+
+// typeCanon names the (pointer-stripped) named type of an expression.
+func (v *ValueNums) typeCanon(e ast.Expr) string {
+	t := v.info.TypeOf(e)
+	return v.typeCanonOf(t)
+}
+
+// isSyncType reports whether t (pointer-stripped) is declared in
+// package sync.
+func isSyncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+func (v *ValueNums) typeCanonOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

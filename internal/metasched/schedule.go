@@ -433,7 +433,6 @@ func (s *Scheduler) checkOffline() {
 // best-effort so a late completion cannot race the reissue.
 func (s *Scheduler) requeueFrom(resource string) {
 	var ids []string
-	//lint:allow determinism -- collected IDs are sorted before use
 	for id, j := range s.jobs {
 		if j.Status == StatusRunning && j.Resource == resource {
 			ids = append(ids, id)

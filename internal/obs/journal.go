@@ -94,7 +94,7 @@ func (j *Journal) Record(batch, job string, stage Stage, resource, detail string
 	j.events = append(j.events, ev)
 	HashEvent(j.hash, ev)
 	if j.observer != nil {
-		j.observer(ev)
+		j.observer(ev) //lint:allow lockorder -- the observer is the WAL feed: it must see events in digest order, which only mu guarantees
 	}
 }
 

@@ -227,14 +227,23 @@ func (r *Registry) familyFor(name, help string, kind Kind, bounds []float64) *fa
 }
 
 // series returns (creating if needed) the handle for a label set.
+// The constructor runs outside the lock — it is caller-supplied code,
+// and a callback under mu is a deadlock waiting to happen — with a
+// double-checked insert so racing creators converge on one handle.
 func (f *family) series(labels []Label, mk func() any) any {
 	key, sorted := canonLabels(labels)
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if m, ok := f.bySeries[key]; ok {
+		f.mu.Unlock()
 		return m
 	}
+	f.mu.Unlock()
 	m := mk()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if exist, ok := f.bySeries[key]; ok {
+		return exist // another goroutine won the race; discard ours
+	}
 	f.bySeries[key] = m
 	i := sort.Search(len(f.ordered), func(i int) bool { return f.ordered[i].key >= key })
 	f.ordered = append(f.ordered, seriesEntry{})

@@ -487,15 +487,18 @@ func (p *Portal) handleBatch(w http.ResponseWriter, r *http.Request) {
 	p.writeBody(w, []byte(page))
 }
 
-// handleGridStatus reports the federation's current state.
+// handleGridStatus reports the federation's current state. The
+// status callback reaches into core and is invoked outside p.mu: a
+// callback that re-entered the portal would otherwise deadlock.
 func (p *Portal) handleGridStatus(w http.ResponseWriter, r *http.Request) {
-	if p.statusFn == nil {
+	p.mu.Lock()
+	fn := p.statusFn
+	p.mu.Unlock()
+	if fn == nil {
 		http.Error(w, "status source not configured", http.StatusNotFound)
 		return
 	}
-	p.mu.Lock()
-	st := p.statusFn()
-	p.mu.Unlock()
+	st := fn()
 	p.writeJSON(w, st)
 }
 
