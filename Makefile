@@ -1,7 +1,9 @@
 GO ?= go
 
-# The PR2 engine micro-benchmarks (incremental re-evaluation and
-# parallel population scoring); see EXPERIMENTS.md "Performance".
+# The likelihood-engine micro-benchmarks (incremental re-evaluation
+# and parallel population scoring); see EXPERIMENTS.md "Performance".
+# Baselined in BENCH_PR2.json, re-baselined after the PR7 kernel
+# rebuild in BENCH_PR7.json.
 BENCH_PATTERN = SearchEval50|Search50|ParallelScore
 
 # The PR4 fault-injection overhead benchmarks (fault-off vs fault-on);
@@ -16,7 +18,7 @@ WAL_BENCH_PATTERN = WALScenario
 # included and marked, for dashboards and suppression audits.
 LINT_ARTIFACT = latticelint.json
 
-.PHONY: all build vet lint lint-fixtures test race smoke faults crash check bench bench-smoke bench-json bench-json-faults bench-json-wal
+.PHONY: all build vet lint lint-fixtures test race smoke faults crash check bench bench-smoke bench-json bench-json-engine bench-json-faults bench-json-wal
 
 all: check
 
@@ -68,6 +70,12 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 
+# bench-json-engine regenerates the committed post-kernel-rebuild
+# engine artifact (tip-specialized fused kernels, per-tree partials
+# banks, warm-started pools).
+bench-json-engine:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+
 # bench-json-faults regenerates the committed fault-injection
 # overhead artifact (fault-off vs fault-on grid runs).
 bench-json-faults:
@@ -95,6 +103,7 @@ crash:
 # analyzers (failing on any unsuppressed finding), the analyzer
 # fixture self-tests under -race, the test suite under the race
 # detector (which includes the forest/BOINC concurrency stress tests),
-# the fault-injection scenario under -race, and the grid boot smoke
-# that scrapes /metrics over real HTTP.
-check: build vet lint lint-fixtures race faults crash smoke
+# the fault-injection scenario under -race, the grid boot smoke that
+# scrapes /metrics over real HTTP, and one execution of every engine
+# benchmark body so benchmark code cannot rot.
+check: build vet lint lint-fixtures race faults crash smoke bench-smoke

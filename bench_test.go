@@ -495,31 +495,68 @@ func BenchmarkSearch50(b *testing.B) {
 }
 
 // BenchmarkParallelScore measures population scoring through an
-// EvaluatorPool at several worker counts (32 perturbed 50-taxon trees
-// per op). Scores are bit-identical across worker counts; wall-clock
-// scaling tracks available CPUs.
+// EvaluatorPool at several worker counts: 32 perturbed 50-taxon trees
+// per op, each with one branch re-jittered between ops — a GA
+// generation's access pattern. The pool is warm-started from a parent
+// engine (as a search would after building the population), so no
+// worker pays the transition-matrix cold start the PR2 version
+// measured. Scores are bit-identical across worker counts; wall-clock
+// scaling comes from the per-tree bank budget: each worker's share of
+// the population must fit its engine's conditional-likelihood budget
+// for revisits to be incremental.
 func BenchmarkParallelScore(b *testing.B) {
 	pd, m, rs, tree := bench50(b, 1000)
 	rng := sim.NewRNG(11)
-	trees := make([]*phylo.Tree, 32)
-	for i := range trees {
-		trees[i] = tree.Clone()
-		trees[i].PostOrder(func(n *phylo.Node) {
+	base := make([]*phylo.Tree, 32)
+	for i := range base {
+		base[i] = tree.Clone()
+		base[i].PostOrder(func(n *phylo.Node) {
 			if n.Parent != nil {
 				n.Length *= rng.LogNormal(0, 0.2)
 			}
 		})
 	}
+	// Fixed per-(op, tree) mutation schedule so every worker count
+	// evaluates identical tree states in the same order.
+	mrng := sim.NewRNG(78)
+	const schedule = 512
+	idx := make([]int, schedule*len(base))
+	factor := make([]float64, schedule*len(base))
+	for i := range idx {
+		idx[i] = 1 + mrng.Intn(len(tree.Nodes)-1)
+		factor[i] = mrng.LogNormal(0, 0.2)
+	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// Fresh clones per worker count: identical tree states and
+			// fresh bank identities for every variant.
+			trees := make([]*phylo.Tree, len(base))
+			for i := range trees {
+				trees[i] = base[i].Clone()
+			}
+			parent, err := beagle.New(pd, m, rs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tr := range trees {
+				parent.LogLikelihood(tr) // warm the shared transition cache
+			}
 			pool, err := phylo.NewEvaluatorPool(workers, func() (phylo.Evaluator, error) {
 				return beagle.New(pd, m, rs)
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
+			pool.WarmStart(parent)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				s := (i % schedule) * len(trees)
+				for k, tr := range trees {
+					n := tr.Nodes[idx[s+k]]
+					if n.Parent != nil {
+						n.Length *= factor[s+k]
+					}
+				}
 				pool.ScoreAll(trees)
 			}
 			b.ReportMetric(float64(len(trees)), "trees/op")

@@ -41,7 +41,7 @@ var registry = []experiment{
 		func(s int64) (fmt.Stringer, error) { return experiments.ContinuousRetraining(s) }},
 	{"e14", "E14 — estimate gating vs checkpoint cycling",
 		func(s int64) (fmt.Stringer, error) { return experiments.CheckpointAlternative(s) }},
-	{"perf", "Engine performance — incremental re-evaluation and parallel scoring",
+	{"perf", "Engine performance — tip-specialized fused kernels, incremental re-evaluation, parallel scoring",
 		func(s int64) (fmt.Stringer, error) { return experiments.EnginePerf(s, 20, 300, 80) }},
 	{"faults", "Fault injection — conservation and determinism under a hostile schedule",
 		func(s int64) (fmt.Stringer, error) { return experiments.FaultScenario(s) }},

@@ -123,8 +123,16 @@ func main() {
 	fmt.Printf("  %d evaluations, %.3g cell updates\n", st.Evaluations, st.Work)
 	fmt.Printf("  partials: %d computed, %d reused incrementally (%.0f%% of pruning skipped)\n",
 		st.PartialsComputed, st.PartialsReused, 100*st.ReuseFraction())
-	fmt.Printf("  transition cache: %.0f%% hits (%d entries resident, %d evictions)\n",
-		100*st.CacheHitRate(), st.CacheSize, st.CacheEvictions)
+	fmt.Printf("  transition cache: %.0f%% hits (%d entries resident, %d evictions, %d buffers recycled)\n",
+		100*st.CacheHitRate(), st.CacheSize, st.CacheEvictions, st.PmatRecycled)
+	fmt.Printf("  pattern compression: %.2f sites/pattern (%d sites → %d patterns)\n",
+		st.PatternCompression(), st.NumSites, st.NumPatterns)
+	tipPct := 0.0
+	if tot := st.TipCells + st.InternalCells; tot > 0 {
+		tipPct = 100 * float64(st.TipCells) / float64(tot)
+	}
+	fmt.Printf("  kernel cells: %.0f%% tip-specialized; partials banks: %d hits, %d recycled buffers\n",
+		tipPct, st.BankHits, st.BufRecycled)
 
 	// The same search fanned out over a pool of engines: bit-identical
 	// to a 1-worker run of SearchParallel for the same seed, whatever

@@ -6,31 +6,42 @@
 // played by a CPU-optimized evaluation engine that is exactly
 // exchangeable with the reference implementation in internal/phylo:
 //
-//   - flat structure-of-arrays buffers allocated once per tree shape,
-//   - an LRU transition-matrix cache keyed by branch length, so
-//     repeated evaluations of the same tree (the GA's dominant access
-//     pattern) skip the matrix exponentials entirely,
-//   - incremental re-evaluation: per-node conditional likelihoods are
-//     cached together with the exact subtree structure they were
-//     computed from, so a mutation (NNI, SPR, branch-length change)
-//     only recomputes the partials on the path from the mutated edge
-//     to the root — the classic GARLI optimization,
-//   - a hand-unrolled 4-state kernel for nucleotide models (the
-//     overwhelmingly common case) with slice-bound hoisting,
+//   - tip-state specialization: leaves own no buffers — a leaf child's
+//     contribution is a precomputed transition-matrix column, indexed
+//     per pattern (tips.go),
+//   - fused, blocked pruning kernels: a binary node is one sweep
+//     part = (P₁·c₁) ⊙ (P₂·c₂) with the child-scale addition folded
+//     in, pattern-major with no per-cell modulo (kernels.go),
+//   - an LRU transition-matrix cache keyed by branch length whose
+//     evicted buffers recycle through a free list, and whose entries
+//     pool workers share read-only via WarmStart (cache.go),
+//   - incremental re-evaluation with per-tree banks of copy-on-write
+//     conditional-likelihood buffers, so one engine scoring many trees
+//     alternately keeps every tree's cached state live within a byte
+//     budget (banks.go) — the classic GARLI optimization extended
+//     across a whole population,
 //   - rescaling applied per node only when magnitudes demand it.
 //
 // Correctness is pinned to the reference implementation by property
 // tests: both engines must agree to ~1e-9 on random trees, models and
 // rate mixtures, and incremental evaluation must be bit-identical to
-// full recomputation over long random mutation sequences.
+// full recomputation over long random mutation sequences — for
+// nucleotide, amino-acid, and codon state spaces.
 package beagle
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 
 	"lattice/internal/phylo"
 )
+
+// defaultBankBudget bounds the conditional-likelihood memory one
+// engine retains across trees. 64 MiB holds a pool worker's share of a
+// GA population at realistic sizes (tens of 50-taxon, 1000-site trees)
+// while keeping a many-engine pool within commodity memory.
+const defaultBankBudget = 64 << 20
 
 // Engine evaluates tree log-likelihoods. It is not safe for concurrent
 // use; create one engine per goroutine (phylo.EvaluatorPool does
@@ -44,23 +55,23 @@ type Engine struct {
 	nCats   int
 	nPat    int
 
-	// partials[node] holds [pat*cats*states] conditionals; scales
-	// holds per-node, per-pattern log scaling factors.
-	partials [][]float64
-	scales   [][]float64
-
-	// pmats is the bounded LRU transition-matrix cache keyed by branch
-	// length. The GA mutates one branch per generation, so almost
-	// every edge of an evaluated tree has been seen before.
+	// pmats is the bounded LRU transition cache keyed by branch
+	// length; each entry carries the per-category matrices plus the
+	// tip-column tables. The GA mutates one branch per generation, so
+	// almost every edge of an evaluated tree has been seen before.
 	pmats *pmatCache
 
-	// Incremental re-evaluation state. nodes[id] records the exact
-	// subtree structure (leaf taxon, ordered child IDs, child branch
-	// lengths) whose conditional likelihoods partials[id] currently
-	// holds. A node is recomputed only when that record no longer
-	// matches the tree being evaluated or a descendant was recomputed
-	// this pass — so a single branch-length change re-runs the pruning
-	// kernel only on the path from the mutated edge to the root.
+	// tipIdx[taxon][pattern] is the tip-table index for that taxon's
+	// observed state (nStates = missing). Depends only on the data.
+	tipIdx [][]uint8
+
+	// Incremental re-evaluation state: per-tree banks keyed by
+	// phylo.Tree.UID (banks.go). A node is recomputed only when its
+	// bank's structural record no longer matches the tree or a
+	// descendant was recomputed this pass — so a single branch-length
+	// change re-runs the pruning kernel only on the path from the
+	// mutated edge to the root, and revisiting a previously scored
+	// tree reuses everything.
 	//
 	// Soundness: validity is detected structurally, not by mutation
 	// hooks, so callers may freely mutate Node.Length in place (as the
@@ -70,19 +81,39 @@ type Engine struct {
 	// count would leave unvisited stale records behind, so a size
 	// change invalidates wholesale (see LogLikelihood).
 	incremental bool
-	nodes       []nodeRecord
-	touched     []bool
 	lastNodes   int
+	banks       map[uint64]*bank
+	bankLRU     *list.List // front = most recently evaluated
+	lastBank    *bank      // seed source for the next new tree
+	bankBytes   int64
+	bankBudget  int64
+	claBytes    int64 // accounted bytes of one claBuf
+	freeBufs    []*claBuf
+	freeBanks   []*bank
+	maxFreeBufs int
+
+	// Per-evaluation scratch, reused across calls.
+	touched    []bool
+	expScratch []float64
 
 	// Evaluations counts LogLikelihood calls; CacheHits / CacheMisses
 	// count transition-matrix lookups. PartialsComputed and
 	// PartialsReused count per-node pruning passes executed vs skipped
-	// by incremental re-evaluation.
+	// by incremental re-evaluation. TipCells / InternalCells split the
+	// kernel cell updates by child kind; BufRecycled counts
+	// conditional-likelihood buffers served from the free list; the
+	// Bank* counters track per-tree bank reuse and budget evictions.
 	Evaluations      int
 	CacheHits        int
 	CacheMisses      int
 	PartialsComputed int
 	PartialsReused   int
+	TipCells         int64
+	InternalCells    int64
+	BufRecycled      int
+	BankHits         int
+	BankMisses       int
+	BankEvictions    int
 	// work accumulates evaluation cost in cell updates (the same unit
 	// as phylo.Likelihood.Work). Every increment is an integer-valued
 	// float64, so sums and differences are exact and parallel runs can
@@ -90,10 +121,12 @@ type Engine struct {
 	work float64
 }
 
-// Engine implements phylo.Evaluator and the incremental extension.
+// Engine implements phylo.Evaluator, the incremental extension, and
+// the pool warm-start seam.
 var (
 	_ phylo.Evaluator            = (*Engine)(nil)
 	_ phylo.IncrementalEvaluator = (*Engine)(nil)
+	_ phylo.WarmStarter          = (*Engine)(nil)
 )
 
 // nodeRecord is the structural signature of the subtree whose partial
@@ -146,16 +179,32 @@ func New(data *phylo.PatternData, model *phylo.Model, rates *phylo.SiteRates) (*
 			return nil, err
 		}
 	}
-	return &Engine{
+	S := model.Type.NumStates()
+	e := &Engine{
 		data:        data,
 		model:       model,
 		rates:       rates,
-		nStates:     model.Type.NumStates(),
+		nStates:     S,
 		nCats:       rates.NumCats(),
 		nPat:        data.NumPatterns(),
 		pmats:       newPmatCache(4096),
+		tipIdx:      buildTipIndex(data.States, data.NumTaxa, data.NumPatterns(), S),
 		incremental: true,
-	}, nil
+		banks:       make(map[uint64]*bank),
+		bankLRU:     list.New(),
+		bankBudget:  defaultBankBudget,
+		expScratch:  make([]float64, S),
+	}
+	e.resizeShapes()
+	return e, nil
+}
+
+// resizeShapes recomputes every size derived from (nPat, nCats,
+// nStates) and discards free-list buffers of the old shape.
+func (e *Engine) resizeShapes() {
+	e.claBytes = int64(e.nPat*e.nCats*e.nStates+e.nPat) * 8
+	e.maxFreeBufs = int(e.bankBudget/e.claBytes) + 8
+	e.freeBufs = nil
 }
 
 // SetModel swaps the substitution model and rate mixture. Every cached
@@ -182,6 +231,7 @@ func (e *Engine) SetModel(model *phylo.Model, rates *phylo.SiteRates) error {
 	e.nCats = rates.NumCats()
 	e.pmats.reset()
 	e.InvalidateAll()
+	e.resizeShapes()
 	return nil
 }
 
@@ -200,14 +250,43 @@ func (e *Engine) SetIncremental(on bool) {
 // SetCacheCap re-bounds the transition-matrix cache.
 func (e *Engine) SetCacheCap(n int) { e.pmats.setCap(n) }
 
+// SetMemoryBudget re-bounds the bytes of conditional-likelihood state
+// the engine retains across trees (default 64 MiB). Shrinking evicts
+// the least recently evaluated trees' banks on the next evaluation.
+func (e *Engine) SetMemoryBudget(bytes int64) {
+	if bytes < e.claBytes {
+		bytes = e.claBytes
+	}
+	e.bankBudget = bytes
+	e.maxFreeBufs = int(e.bankBudget/e.claBytes) + 8
+}
+
 // InvalidateAll implements phylo.IncrementalEvaluator: it drops every
 // cached per-node conditional likelihood, forcing the next evaluation
 // to recompute the whole tree. Transition matrices stay cached — they
 // depend only on the model and branch lengths, not on tree content.
 func (e *Engine) InvalidateAll() {
-	for i := range e.nodes {
-		e.nodes[i].valid = false
+	e.dropAllBanks()
+}
+
+// WarmStart implements phylo.WarmStarter: it adopts the parent
+// engine's cached transition matrices (and their tip tables) when the
+// parent provably computes identical ones — same model and rate
+// objects. Shared entries are immutable and flagged on both sides so
+// neither engine ever recycles a buffer the other may read; beyond
+// that the engines stay fully independent, so this is safe under
+// concurrent use afterward. A worker warm-started from the engine that
+// built the candidate trees starts with every hot branch length
+// resident instead of re-deriving thousands of matrix exponentials.
+func (e *Engine) WarmStart(parent phylo.Evaluator) {
+	p, ok := parent.(*Engine)
+	if !ok || p == e {
+		return
 	}
+	if p.model != e.model || p.rates != e.rates || p.data != e.data {
+		return
+	}
+	p.pmats.shareInto(e.pmats)
 }
 
 // Stats is a snapshot of the engine's evaluation counters.
@@ -219,6 +298,15 @@ type Stats struct {
 	CacheMisses      int
 	CacheEvictions   int
 	CacheSize        int
+	PmatRecycled     int
+	TipCells         int64
+	InternalCells    int64
+	BufRecycled      int
+	BankHits         int
+	BankMisses       int
+	BankEvictions    int
+	NumSites         int
+	NumPatterns      int
 	Work             float64
 }
 
@@ -232,6 +320,15 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:      e.CacheMisses,
 		CacheEvictions:   e.pmats.evictions,
 		CacheSize:        e.pmats.size(),
+		PmatRecycled:     e.pmats.recycled,
+		TipCells:         e.TipCells,
+		InternalCells:    e.InternalCells,
+		BufRecycled:      e.BufRecycled,
+		BankHits:         e.BankHits,
+		BankMisses:       e.BankMisses,
+		BankEvictions:    e.BankEvictions,
+		NumSites:         e.data.NumSites,
+		NumPatterns:      e.nPat,
 		Work:             e.work,
 	}
 }
@@ -256,40 +353,40 @@ func (s Stats) CacheHitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
-// transition returns the flattened per-category transition matrices
-// for a branch length, from cache when possible.
-func (e *Engine) transition(length float64) []float64 {
-	if m, ok := e.pmats.get(length); ok {
-		e.CacheHits++
-		return m
+// PatternCompression is the duplicate-column compression ratio of the
+// alignment: sites per unique site pattern. Cell cost scales with
+// patterns, so this is the "free" speedup real-shaped data gets
+// before any kernel runs.
+func (s Stats) PatternCompression() float64 {
+	if s.NumPatterns == 0 {
+		return 0
 	}
-	e.CacheMisses++
-	S := e.nStates
-	out := make([]float64, e.nCats*S*S)
-	var scratch *phylo.Matrix
-	for c := 0; c < e.nCats; c++ {
-		scratch = e.model.Eigen().TransitionMatrix(length*e.rates.Rates[c], scratch)
-		copy(out[c*S*S:(c+1)*S*S], scratch.Data)
-	}
-	e.pmats.put(length, out)
-	return out
+	return float64(s.NumSites) / float64(s.NumPatterns)
 }
 
-func (e *Engine) ensureBuffers(n int) {
-	for len(e.partials) < n {
-		e.partials = append(e.partials, nil)
-		e.scales = append(e.scales, nil)
-		e.nodes = append(e.nodes, nodeRecord{})
-		e.touched = append(e.touched, false)
+// transition returns the cached per-branch-length entry (per-category
+// matrices plus tip tables), computing it on miss with zero steady-
+// state allocation: the backing buffer recycles from evicted entries
+// and the eigen scratch is engine-owned.
+func (e *Engine) transition(length float64) *pmatEntry {
+	if pe, ok := e.pmats.get(length); ok {
+		e.CacheHits++
+		return pe
 	}
-	size := e.nPat * e.nCats * e.nStates
-	for i := 0; i < n; i++ {
-		if len(e.partials[i]) != size {
-			e.partials[i] = make([]float64, size)
-			e.scales[i] = make([]float64, e.nPat)
-			e.nodes[i] = nodeRecord{}
-		}
+	e.CacheMisses++
+	S, C := e.nStates, e.nCats
+	matsLen := C * S * S
+	data := e.pmats.buffer(matsLen + C*S*(S+1))
+	mats := data[:matsLen]
+	tips := data[matsLen:]
+	es := e.model.Eigen()
+	for c := 0; c < C; c++ {
+		es.TransitionProbsInto(length*e.rates.Rates[c], mats[c*S*S:(c+1)*S*S], e.expScratch)
 	}
+	buildTipTables(mats, tips, S, C)
+	pe := &pmatEntry{length: length, data: data, mats: mats, tips: tips}
+	e.pmats.put(pe)
+	return pe
 }
 
 // OptimizeBranch implements phylo.Evaluator via the shared
@@ -319,64 +416,55 @@ func childTouched(n *phylo.Node, touched []bool) bool {
 //
 // With incremental re-evaluation enabled (the default), per-node
 // conditional likelihoods cached from earlier evaluations — of this
-// tree or of any clone sharing node IDs — are reused wherever the
-// recorded subtree structure still matches, so the pruning kernel runs
-// only on nodes whose subtree actually changed. The result is
-// bit-identical to a full recomputation: reuse is only ever of values
-// the full pass would recompute from identical inputs in identical
-// order.
+// tree, of any clone seeded from it, or of this tree on a previous
+// visit (per-tree banks) — are reused wherever the recorded subtree
+// structure still matches, so the pruning kernel runs only on nodes
+// whose subtree actually changed. The result is bit-identical to a
+// full recomputation: reuse is only ever of values the full pass would
+// recompute from identical inputs in identical order.
 func (e *Engine) LogLikelihood(t *phylo.Tree) float64 {
 	e.Evaluations++
-	e.ensureBuffers(len(t.Nodes))
-	if len(t.Nodes) != e.lastNodes {
-		e.InvalidateAll()
-		e.lastNodes = len(t.Nodes)
+	nn := len(t.Nodes)
+	if nn != e.lastNodes {
+		e.dropAllBanks()
+		e.lastNodes = nn
 	}
-	touched := e.touched[:len(t.Nodes)]
+	if t.Root.IsLeaf() {
+		// Degenerate single-node tree: the root readout over an
+		// indicator vector needs no buffers at all.
+		return e.rootLeafLogL(t.Root.Taxon)
+	}
+	for len(e.touched) < nn {
+		e.touched = append(e.touched, false)
+	}
+	bk := e.bankFor(t.UID(), nn)
+	e.evictBanks(bk)
+	touched := e.touched[:nn]
 	for i := range touched {
 		touched[i] = false
 	}
 	t.PostOrder(func(n *phylo.Node) {
-		rec := &e.nodes[n.ID]
+		rec := &bk.recs[n.ID]
 		if e.incremental && rec.matches(n) && !childTouched(n, touched) {
 			e.PartialsReused++
 			return
 		}
 		touched[n.ID] = true
 		e.PartialsComputed++
-		part := e.partials[n.ID]
-		scale := e.scales[n.ID]
-		for i := range scale {
-			scale[i] = 0
-		}
-		if n.IsLeaf() {
-			e.fillLeaf(part, n.Taxon)
-		} else {
-			for i := range part {
-				part[i] = 1
-			}
-			for _, child := range n.Children {
-				pm := e.transition(child.Length)
-				cpart := e.partials[child.ID]
-				cscale := e.scales[child.ID]
-				for p := 0; p < e.nPat; p++ {
-					scale[p] += cscale[p]
-				}
-				if e.nStates == 4 {
-					e.accumulate4(part, cpart, pm)
-				} else {
-					e.accumulateGeneric(part, cpart, pm)
-				}
-				e.work += float64(e.nPat+1) * float64(e.nCats) * float64(e.nStates) * float64(e.nStates)
-			}
-			e.rescale(part, scale)
+		if !n.IsLeaf() {
+			// Leaves carry no state: their contribution is read from
+			// the tip tables by the parent's kernel. Their records
+			// still participate so a taxon change at a node ID
+			// invalidates the parent chain.
+			e.computeNode(bk, n)
 		}
 		if e.incremental {
 			rec.record(n)
 		}
 	})
-	root := e.partials[t.Root.ID]
-	rscale := e.scales[t.Root.ID]
+	rootBuf := bk.bufs[t.Root.ID]
+	root := rootBuf.part
+	rscale := rootBuf.scale
 	pi := e.model.Freqs
 	S, C := e.nStates, e.nCats
 	var logL float64
@@ -398,83 +486,121 @@ func (e *Engine) LogLikelihood(t *phylo.Tree) float64 {
 	return logL
 }
 
-// accumulate4 is the unrolled nucleotide kernel: for every
-// (pattern, category) cell it multiplies the running partial by
-// P · childPartial with the 4×4 product fully unrolled.
-func (e *Engine) accumulate4(part, cpart, pm []float64) {
-	C := e.nCats
-	cells := e.nPat * C
-	for cell := 0; cell < cells; cell++ {
-		base := cell * 4
-		m := pm[(cell%C)*16 : (cell%C)*16+16]
-		c0, c1, c2, c3 := cpart[base], cpart[base+1], cpart[base+2], cpart[base+3]
-		part[base+0] *= m[0]*c0 + m[1]*c1 + m[2]*c2 + m[3]*c3
-		part[base+1] *= m[4]*c0 + m[5]*c1 + m[6]*c2 + m[7]*c3
-		part[base+2] *= m[8]*c0 + m[9]*c1 + m[10]*c2 + m[11]*c3
-		part[base+3] *= m[12]*c0 + m[13]*c1 + m[14]*c2 + m[15]*c3
+// childRefFor resolves child c's kernel inputs — fetching (or
+// computing) its transition entry and accounting work and cell
+// counters. The returned ref's matrix slices stay valid until the
+// next transition-cache miss, so callers must consume a ref before
+// fetching more than one further child (the fused pair holds two at
+// once, which the cache's minimum capacity guarantees).
+func (e *Engine) childRefFor(bk *bank, c *phylo.Node) childRef {
+	pe := e.transition(c.Length)
+	S, C, nPat := e.nStates, e.nCats, e.nPat
+	e.work += float64(nPat+1) * float64(C) * float64(S) * float64(S)
+	if c.IsLeaf() {
+		e.TipCells += int64(nPat) * int64(C) * int64(S)
+		return childRef{tips: pe.tips, idx: e.tipIdx[c.Taxon]}
 	}
+	e.InternalCells += int64(nPat) * int64(C) * int64(S)
+	cb := bk.bufs[c.ID]
+	return childRef{mats: pe.mats, part: cb.part, scale: cb.scale}
 }
 
-// accumulateGeneric handles amino-acid and codon state spaces.
-func (e *Engine) accumulateGeneric(part, cpart, pm []float64) {
+// computeNode runs the pruning kernels for internal node n into a
+// buffer this bank may write, fusing the first two children into a
+// single sweep and accumulating any further children. Each child's
+// transition entry is fetched immediately before the kernel that
+// consumes it, so cache eviction can never recycle a matrix still in
+// use.
+func (e *Engine) computeNode(bk *bank, n *phylo.Node) {
+	buf := e.writableBuf(bk, n.ID)
+	part, scale := buf.part, buf.scale
+	S, C, nPat := e.nStates, e.nCats, e.nPat
+
+	kids := n.Children
+	if len(kids) == 1 {
+		r := e.childRefFor(bk, kids[0])
+		if r.isTip() {
+			writeT(part, scale, &r, nPat, C, S)
+		} else {
+			writeI(part, scale, &r, nPat, C, S)
+		}
+		rescale(part, scale, nPat, C, S)
+		return
+	}
+
+	ra := e.childRefFor(bk, kids[0])
+	rb := e.childRefFor(bk, kids[1])
+	a, b := &ra, &rb
+	if a.isTip() && !b.isTip() {
+		// Multiplication commutes bitwise in IEEE-754, so normalizing
+		// tip-first pairs to internal-first halves the fused kernel
+		// set without changing any value.
+		a, b = b, a
+	}
+	if S == 4 {
+		switch {
+		case a.isTip():
+			fuseTT4(part, scale, a, b, nPat, C)
+		case b.isTip():
+			fuseIT4(part, scale, a, b, nPat, C)
+		default:
+			fuseII4(part, scale, a, b, nPat, C)
+		}
+	} else {
+		switch {
+		case a.isTip():
+			fuseTTG(part, scale, a, b, nPat, C, S)
+		case b.isTip():
+			fuseITG(part, scale, a, b, nPat, C, S)
+		default:
+			fuseIIG(part, scale, a, b, nPat, C, S)
+		}
+	}
+	for i := 2; i < len(kids); i++ {
+		r := e.childRefFor(bk, kids[i])
+		if S == 4 {
+			if r.isTip() {
+				accT4(part, &r, nPat, C)
+			} else {
+				accI4(part, scale, &r, nPat, C)
+			}
+		} else {
+			if r.isTip() {
+				accTG(part, &r, nPat, C, S)
+			} else {
+				accIG(part, scale, &r, nPat, C, S)
+			}
+		}
+	}
+	rescale(part, scale, nPat, C, S)
+}
+
+// rootLeafLogL evaluates the degenerate tree whose root is a leaf:
+// the site likelihood is the stationary frequency of the observed
+// state (or the left-to-right frequency sum for missing data), summed
+// over rate categories exactly as the buffered readout would.
+func (e *Engine) rootLeafLogL(taxon int) float64 {
+	pi := e.model.Freqs
 	S, C := e.nStates, e.nCats
+	idx := e.tipIdx[taxon]
+	var piSum float64
+	for s := 0; s < S; s++ {
+		piSum += pi[s]
+	}
+	var logL float64
 	for p := 0; p < e.nPat; p++ {
+		cat := piSum
+		if ti := int(idx[p]); ti < S {
+			cat = pi[ti]
+		}
+		var site float64
 		for c := 0; c < C; c++ {
-			base := (p*C + c) * S
-			mat := pm[c*S*S : (c+1)*S*S]
-			cvec := cpart[base : base+S]
-			out := part[base : base+S]
-			for s := 0; s < S; s++ {
-				row := mat[s*S : s*S+S]
-				var sum float64
-				for x := 0; x < S; x++ {
-					sum += row[x] * cvec[x]
-				}
-				out[s] *= sum
-			}
+			site += e.rates.Weights[c] * cat
 		}
+		if site <= 0 {
+			site = math.SmallestNonzeroFloat64
+		}
+		logL += e.data.Weights[p] * math.Log(site)
 	}
-}
-
-// rescale guards against underflow on deep trees.
-func (e *Engine) rescale(part, scale []float64) {
-	S, C := e.nStates, e.nCats
-	stride := C * S
-	for p := 0; p < e.nPat; p++ {
-		base := p * stride
-		maxv := 0.0
-		for i := base; i < base+stride; i++ {
-			if part[i] > maxv {
-				maxv = part[i]
-			}
-		}
-		if maxv > 0 && maxv < 1e-100 {
-			inv := 1 / maxv
-			for i := base; i < base+stride; i++ {
-				part[i] *= inv
-			}
-			scale[p] += math.Log(maxv)
-		}
-	}
-}
-
-func (e *Engine) fillLeaf(part []float64, taxon int) {
-	S, C := e.nStates, e.nCats
-	nt := e.data.NumTaxa
-	for p := 0; p < e.nPat; p++ {
-		st := e.data.States[p*nt+taxon]
-		base := p * C * S
-		if st < 0 {
-			for i := base; i < base+C*S; i++ {
-				part[i] = 1
-			}
-			continue
-		}
-		for i := base; i < base+C*S; i++ {
-			part[i] = 0
-		}
-		for c := 0; c < C; c++ {
-			part[base+c*S+int(st)] = 1
-		}
-	}
+	return logL
 }

@@ -38,78 +38,151 @@ func mutate(t *phylo.Tree, rng *sim.RNG) string {
 	}
 }
 
+// mutationSequenceCases parameterizes the bit-identity harness over
+// every kernel family: the unrolled 4-state nucleotide path and the
+// generic path at amino-acid (20) and codon (61) state counts. The
+// non-nucleotide fixtures are smaller so the reference engine's full
+// recomputation stays affordable, but run the same 200-step sequence.
+var mutationSequenceCases = []struct {
+	name   string
+	dt     phylo.DataType
+	ncats  int
+	ntaxa  int
+	nsites int
+	seeds  []int64
+}{
+	{"nucleotide", phylo.Nucleotide, 4, 14, 400, []int64{1, 2, 3}},
+	{"aa", phylo.AminoAcid, 2, 9, 160, []int64{4}},
+	{"codon", phylo.Codon, 1, 7, 60, []int64{5}},
+}
+
 // TestIncrementalMatchesFullOverMutationSequence is the tentpole
 // property test: over a long random sequence of NNI / SPR / branch-
 // length mutations, incremental re-evaluation must be bit-identical to
 // full recomputation on a second engine, and within 1e-9 (relative) of
-// the reference implementation.
+// the reference implementation — for nucleotide, amino-acid, and codon
+// state spaces.
 func TestIncrementalMatchesFullOverMutationSequence(t *testing.T) {
-	for _, seed := range []int64{1, 2, 3} {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			fx := newFixture(t, 400+seed, phylo.Nucleotide, 4, 14, 400)
-			ref, err := phylo.NewLikelihood(fx.data, fx.model, fx.rates)
-			if err != nil {
-				t.Fatal(err)
-			}
-			inc, err := New(fx.data, fx.model, fx.rates)
-			if err != nil {
-				t.Fatal(err)
-			}
-			full, err := New(fx.data, fx.model, fx.rates)
-			if err != nil {
-				t.Fatal(err)
-			}
-			full.SetIncremental(false)
-			rng := sim.NewRNG(seed)
-			tr := fx.tree.Clone()
-			for step := 0; step < 200; step++ {
-				move := mutate(tr, rng)
-				a := inc.LogLikelihood(tr)
-				b := full.LogLikelihood(tr)
-				if a != b {
-					t.Fatalf("step %d (%s): incremental %v != full %v (diff %g)",
-						step, move, a, b, a-b)
-				}
-				c := ref.LogLikelihood(tr)
-				if math.Abs(a-c) > 1e-9*math.Abs(c) {
-					t.Fatalf("step %d (%s): incremental %v vs reference %v", step, move, a, c)
-				}
-			}
-			st := inc.Stats()
-			if st.PartialsReused == 0 {
-				t.Error("incremental engine never reused a partial over 200 mutations")
-			}
-			t.Logf("reuse fraction over sequence: %.1f%% (computed %d, reused %d)",
-				100*st.ReuseFraction(), st.PartialsComputed, st.PartialsReused)
-		})
+	for _, tc := range mutationSequenceCases {
+		for _, seed := range tc.seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				runMutationSequence(t, tc.dt, tc.ncats, tc.ntaxa, tc.nsites, seed)
+			})
+		}
 	}
+}
+
+func runMutationSequence(t *testing.T, dt phylo.DataType, ncats, ntaxa, nsites int, seed int64) {
+	fx := newFixture(t, 400+seed, dt, ncats, ntaxa, nsites)
+	ref, err := phylo.NewLikelihood(fx.data, fx.model, fx.rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := New(fx.data, fx.model, fx.rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(fx.data, fx.model, fx.rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.SetIncremental(false)
+	rng := sim.NewRNG(seed)
+	tr := fx.tree.Clone()
+	for step := 0; step < 200; step++ {
+		move := mutate(tr, rng)
+		a := inc.LogLikelihood(tr)
+		b := full.LogLikelihood(tr)
+		if a != b {
+			t.Fatalf("step %d (%s): incremental %v != full %v (diff %g)",
+				step, move, a, b, a-b)
+		}
+		c := ref.LogLikelihood(tr)
+		if math.Abs(a-c) > 1e-9*math.Abs(c) {
+			t.Fatalf("step %d (%s): incremental %v vs reference %v", step, move, a, c)
+		}
+	}
+	st := inc.Stats()
+	if st.PartialsReused == 0 {
+		t.Error("incremental engine never reused a partial over 200 mutations")
+	}
+	t.Logf("reuse fraction over sequence: %.1f%% (computed %d, reused %d)",
+		100*st.ReuseFraction(), st.PartialsComputed, st.PartialsReused)
 }
 
 // TestIncrementalAcrossClones drives one engine with alternating clones
 // of different trees — the GA population pattern, where successive
 // LogLikelihood calls see different individuals sharing node-ID layout.
+// With per-tree banks each individual keeps its own cached state, and
+// every kernel family (4-state and generic) must stay bit-identical to
+// full recomputation.
 func TestIncrementalAcrossClones(t *testing.T) {
-	fx := newFixture(t, 31, phylo.Nucleotide, 4, 10, 300)
+	cases := []struct {
+		name   string
+		dt     phylo.DataType
+		ncats  int
+		ntaxa  int
+		nsites int
+	}{
+		{"nucleotide", phylo.Nucleotide, 4, 10, 300},
+		{"aa", phylo.AminoAcid, 2, 8, 120},
+		{"codon", phylo.Codon, 1, 6, 50},
+	}
+	for ci, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fx := newFixture(t, int64(31+ci), c.dt, c.ncats, c.ntaxa, c.nsites)
+			inc, _ := New(fx.data, fx.model, fx.rates)
+			full, _ := New(fx.data, fx.model, fx.rates)
+			full.SetIncremental(false)
+			rng := sim.NewRNG(5)
+			pop := make([]*phylo.Tree, 4)
+			for i := range pop {
+				pop[i] = fx.tree.Clone()
+				for j := 0; j <= i; j++ {
+					mutate(pop[i], rng)
+				}
+			}
+			for round := 0; round < 20; round++ {
+				i := rng.Intn(len(pop))
+				mutate(pop[i], rng)
+				for k, tr := range pop {
+					a, b := inc.LogLikelihood(tr), full.LogLikelihood(tr)
+					if a != b {
+						t.Fatalf("round %d individual %d: incremental %v != full %v", round, k, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalUnderMemoryBudget squeezes the bank budget so far
+// that every tree's bank is evicted between visits: results must stay
+// bit-identical to full recomputation — eviction may only cost speed,
+// never correctness.
+func TestIncrementalUnderMemoryBudget(t *testing.T) {
+	fx := newFixture(t, 61, phylo.Nucleotide, 4, 10, 300)
 	inc, _ := New(fx.data, fx.model, fx.rates)
+	inc.SetMemoryBudget(1) // clamps to one buffer: nothing survives
 	full, _ := New(fx.data, fx.model, fx.rates)
 	full.SetIncremental(false)
-	rng := sim.NewRNG(5)
-	pop := make([]*phylo.Tree, 4)
+	rng := sim.NewRNG(13)
+	pop := make([]*phylo.Tree, 6)
 	for i := range pop {
 		pop[i] = fx.tree.Clone()
-		for j := 0; j <= i; j++ {
-			mutate(pop[i], rng)
-		}
-	}
-	for round := 0; round < 20; round++ {
-		i := rng.Intn(len(pop))
 		mutate(pop[i], rng)
+	}
+	for round := 0; round < 10; round++ {
+		mutate(pop[rng.Intn(len(pop))], rng)
 		for k, tr := range pop {
 			a, b := inc.LogLikelihood(tr), full.LogLikelihood(tr)
 			if a != b {
 				t.Fatalf("round %d individual %d: incremental %v != full %v", round, k, a, b)
 			}
 		}
+	}
+	if inc.Stats().BankEvictions == 0 {
+		t.Error("budget of 1 byte never evicted a bank")
 	}
 }
 
@@ -241,6 +314,68 @@ func TestPoolScoringDeterministicAcrossWorkers(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestWarmStartPoolSharing pins the warm-start seam: pool workers that
+// adopted a warm parent engine's transition cache must return
+// bit-identical scores while actually hitting the shared entries, and
+// the parent must remain usable concurrently. Under -race this is the
+// proof that shared cache entries are safe across engines.
+func TestWarmStartPoolSharing(t *testing.T) {
+	fx := newFixture(t, 71, phylo.Nucleotide, 4, 12, 300)
+	parent, err := New(fx.data, fx.model, fx.rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(15)
+	trees := make([]*phylo.Tree, 16)
+	want := make([]float64, len(trees))
+	for i := range trees {
+		trees[i] = fx.tree.Clone()
+		mutate(trees[i], rng)
+		want[i] = parent.LogLikelihood(trees[i])
+	}
+	pool, err := phylo.NewEvaluatorPool(4, func() (phylo.Evaluator, error) {
+		return New(fx.data, fx.model, fx.rates)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.WarmStart(parent)
+	for w := 0; w < pool.Workers(); w++ {
+		if st := pool.Evaluator(w).(*Engine).Stats(); st.CacheSize == 0 {
+			t.Fatalf("worker %d adopted no cache entries from the warm parent", w)
+		}
+	}
+	// Keep the parent evaluating its own mutating tree while the pool
+	// scores concurrently: shared entries are read from five engines at
+	// once while the parent keeps inserting fresh ones.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		prng := sim.NewRNG(16)
+		tr := fx.tree.Clone()
+		for i := 0; i < 50; i++ {
+			mutate(tr, prng)
+			parent.LogLikelihood(tr)
+		}
+	}()
+	for pass := 0; pass < 2; pass++ {
+		got := pool.ScoreAll(trees)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("pass %d tree %d: warm-started pool %v != parent %v", pass, i, got[i], want[i])
+			}
+		}
+	}
+	<-done
+	var hits int
+	for w := 0; w < pool.Workers(); w++ {
+		hits += pool.Evaluator(w).(*Engine).Stats().CacheHits
+	}
+	if hits == 0 {
+		t.Error("warm-started workers never hit the shared transition cache")
 	}
 }
 

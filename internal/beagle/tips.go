@@ -1,0 +1,71 @@
+package beagle
+
+// Tip-state specialization.
+//
+// A leaf's conditional likelihood is an indicator vector (or all ones
+// for missing data), so the child term P·c the pruning kernel needs
+// from a leaf is just column `st` of the transition matrix — or the
+// row sums for missing data. Materializing leaf partials, scaling
+// them, and running a full S×S accumulate per leaf child (as PR2 did)
+// computes exactly those columns the slow way. Instead, every cached
+// transition entry carries precomputed per-category tip-column tables
+// and the parent kernel indexes them directly: leaves own no buffers,
+// no scale vectors, and cost one multiply per state instead of an S-
+// term dot product.
+//
+// Bit-identity: with an indicator child vector the old kernel's
+// left-to-right dot product adds zero terms around m[s][st]·1, and in
+// IEEE-754 adding (+0) and multiplying by 1 are exact identities, so
+// the dot equals the matrix entry bitwise. For missing data the child
+// vector is all ones and the dot is the left-to-right row sum, which
+// is how buildTipTables computes the missing column.
+
+// buildTipTables fills tips from the category-major matrices in mats.
+// Layout: tips[(j*C+c)*S+s] is the contribution of a leaf in state j
+// to parent state s under category c, i.e. mats[c][s][j]; index j = S
+// holds the missing-data column, the left-to-right row sums.
+func buildTipTables(mats, tips []float64, S, C int) {
+	for j := 0; j < S; j++ {
+		for c := 0; c < C; c++ {
+			m := mats[c*S*S:]
+			tc := tips[(j*C+c)*S : (j*C+c)*S+S]
+			for s := 0; s < S; s++ {
+				tc[s] = m[s*S+j]
+			}
+		}
+	}
+	for c := 0; c < C; c++ {
+		m := mats[c*S*S:]
+		tc := tips[(S*C+c)*S : (S*C+c)*S+S]
+		for s := 0; s < S; s++ {
+			row := m[s*S : s*S+S]
+			var sum float64
+			for x := 0; x < S; x++ {
+				sum += row[x]
+			}
+			tc[s] = sum
+		}
+	}
+}
+
+// buildTipIndex precomputes, for every taxon, the per-pattern tip
+// table index: the observed state, or S for missing data. Codon
+// models top out at 61 states, so uint8 always fits and a taxon's
+// whole index vector stays in a few cache lines.
+func buildTipIndex(states []int8, numTaxa, nPat, S int) [][]uint8 {
+	idx := make([][]uint8, numTaxa)
+	flat := make([]uint8, numTaxa*nPat)
+	for taxon := 0; taxon < numTaxa; taxon++ {
+		v := flat[taxon*nPat : (taxon+1)*nPat]
+		for p := 0; p < nPat; p++ {
+			st := states[p*numTaxa+taxon]
+			if st < 0 {
+				v[p] = uint8(S)
+			} else {
+				v[p] = uint8(st)
+			}
+		}
+		idx[taxon] = v
+	}
+	return idx
+}

@@ -32,6 +32,13 @@ type EnginePerfResult struct {
 	ReuseFraction float64 // share of per-node pruning passes skipped
 	CacheHitRate  float64 // transition-matrix cache hit rate
 
+	PatternCompression float64 // alignment sites per unique pattern
+	TipCells           int64   // kernel cells fed by tip-column tables
+	InternalCells      int64   // kernel cells fed by internal partials
+	PmatRecycled       int     // transition buffers reused from the free list
+	BufRecycled        int     // partials buffers reused from the free list
+	BankHitRate        float64 // per-tree partials-bank hit rate
+
 	SpeedupVsFull float64 // FullWork / IncWork — the incremental win
 	SpeedupVsRef  float64 // RefWork / IncWork — win over the seed path
 	BestLogL      float64
@@ -107,6 +114,14 @@ func EnginePerf(seed int64, ntaxa, nsites, generations int) (*EnginePerfResult, 
 	st := inc.Stats()
 	r.ReuseFraction = st.ReuseFraction()
 	r.CacheHitRate = st.CacheHitRate()
+	r.PatternCompression = st.PatternCompression()
+	r.TipCells = st.TipCells
+	r.InternalCells = st.InternalCells
+	r.PmatRecycled = st.PmatRecycled
+	r.BufRecycled = st.BufRecycled
+	if hm := st.BankHits + st.BankMisses; hm > 0 {
+		r.BankHitRate = float64(st.BankHits) / float64(hm)
+	}
 	if r.IncWork > 0 {
 		r.SpeedupVsFull = r.FullWork / r.IncWork
 		r.SpeedupVsRef = r.RefWork / r.IncWork
@@ -150,14 +165,24 @@ func (r *EnginePerfResult) String() string {
 		}
 		return "NO"
 	}
+	tipShare := 0.0
+	if tot := r.TipCells + r.InternalCells; tot > 0 {
+		tipShare = float64(r.TipCells) / float64(tot)
+	}
 	return fmt.Sprintf("Engine performance — %d taxa, %d sites, %d generations\n%s"+
 		"partials reused: %.1f%%; transition-cache hit rate: %.1f%%\n"+
+		"pattern compression: %.2f sites/pattern\n"+
+		"kernel cells: %.1f%% tip-specialized (%d tip, %d internal)\n"+
+		"zero-alloc recycling: %d transition buffers, %d partials buffers; bank hit rate %.1f%%\n"+
 		"incremental bit-identical to full recompute: %s\n"+
 		"parallel search deterministic across worker counts: %s\n"+
 		"best logL: %.4f\n",
 		r.Taxa, r.Sites, r.Generations,
 		table([]string{"engine", "cell updates", "work vs incremental"}, rows),
 		100*r.ReuseFraction, 100*r.CacheHitRate,
+		r.PatternCompression,
+		100*tipShare, r.TipCells, r.InternalCells,
+		r.PmatRecycled, r.BufRecycled, 100*r.BankHitRate,
 		check(r.IncrementalExact), check(r.ParallelDeterministic),
 		r.BestLogL)
 }

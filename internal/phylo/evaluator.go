@@ -3,7 +3,6 @@ package phylo
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 )
 
 // Evaluator abstracts a tree log-likelihood engine: the single-model
@@ -38,6 +37,17 @@ type IncrementalEvaluator interface {
 // not safe for concurrent use.
 type EvaluatorFactory func() (Evaluator, error)
 
+// WarmStarter is an Evaluator that can pre-warm its internal caches
+// from an already-warm sibling engine — sharing read-only state (the
+// beagle engine shares its cached transition matrices and tip tables)
+// so pool workers do not each pay the cold-start cost the parent
+// already paid. WarmStart must be called before the evaluator is used
+// concurrently with the parent; shared state must be immutable
+// afterwards. Warm-starting never changes results, only speed.
+type WarmStarter interface {
+	WarmStart(parent Evaluator)
+}
+
 // EvaluatorPool owns one evaluator per worker goroutine and scores
 // batches of trees concurrently. Results are bit-deterministic for a
 // given input regardless of worker count: each tree's score depends
@@ -70,7 +80,29 @@ func NewEvaluatorPool(workers int, factory EvaluatorFactory) (*EvaluatorPool, er
 		}
 		p.evs[i] = ev
 	}
+	// Workers 1..n share worker 0's immutable model state (eigen
+	// decomposition, cached transition matrices) when the engine
+	// supports it, so a pool does not pay the cold-start cost once per
+	// worker.
+	for i := 1; i < len(p.evs); i++ {
+		if ws, ok := p.evs[i].(WarmStarter); ok {
+			ws.WarmStart(p.evs[0])
+		}
+	}
 	return p, nil
+}
+
+// WarmStart pre-warms every worker engine from an external, already
+// warm parent evaluator (typically the engine that built or previously
+// scored the trees about to be fanned out). Engines that do not
+// implement WarmStarter are skipped. The parent must not be evaluated
+// concurrently with the call.
+func (p *EvaluatorPool) WarmStart(parent Evaluator) {
+	for _, ev := range p.evs {
+		if ws, ok := ev.(WarmStarter); ok && ev != parent {
+			ws.WarmStart(parent)
+		}
+	}
 }
 
 // Workers returns the pool size.
@@ -81,7 +113,10 @@ func (p *EvaluatorPool) Workers() int { return len(p.evs) }
 func (p *EvaluatorPool) Evaluator(w int) Evaluator { return p.evs[w] }
 
 // ScoreAll evaluates every tree and returns the scores in tree order.
-// Workers pull tree indices from a shared atomic counter; each worker
+// Trees are split into contiguous blocks, one per worker: worker w
+// always owns the same index range for a given batch size, so a tree
+// that is rescored across generations keeps landing on the same engine
+// and that engine's per-tree incremental caches stay hot. Each worker
 // evaluates on its own engine and writes only its own output slots.
 func (p *EvaluatorPool) ScoreAll(trees []*Tree) []float64 {
 	out := make([]float64, len(trees))
@@ -98,20 +133,24 @@ func (p *EvaluatorPool) ScoreAll(trees []*Tree) []float64 {
 		}
 		return out
 	}
-	var next atomic.Int64
+	chunk := (len(trees) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(trees) {
+			hi = len(trees)
+		}
+		if lo >= hi {
+			break
+		}
 		wg.Add(1)
-		go func(ev Evaluator) {
+		go func(ev Evaluator, lo, hi int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(trees) {
-					return
-				}
+			for i := lo; i < hi; i++ {
 				out[i] = ev.LogLikelihood(trees[i])
 			}
-		}(p.evs[w])
+		}(p.evs[w], lo, hi)
 	}
 	wg.Wait()
 	return out

@@ -192,3 +192,45 @@ func (es *EigenSystem) TransitionMatrix(t float64, dst *Matrix) *Matrix {
 	}
 	return dst
 }
+
+// TransitionProbsInto writes exp(Q·t) into dst, a flat row-major N×N
+// slice, using expScratch (length ≥ N) for the eigenvalue
+// exponentials. It performs the exact floating-point operations of
+// TransitionMatrix in the same order — results are bit-identical —
+// but allocates nothing, so callers that cache many matrices (the
+// beagle engine's transition cache) can recycle both buffers freely.
+func (es *EigenSystem) TransitionProbsInto(t float64, dst, expScratch []float64) {
+	n := es.N
+	if len(dst) < n*n || len(expScratch) < n {
+		panic("phylo: TransitionProbsInto scratch too small")
+	}
+	expl := expScratch[:n]
+	for k, l := range es.Values {
+		expl[k] = math.Exp(l * t)
+	}
+	c1, c2 := es.C1.Data, es.C2.Data
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += c1[i*n+k] * expl[k] * c2[k*n+j]
+			}
+			if s < 0 {
+				s = 0
+			}
+			dst[i*n+j] = s
+		}
+	}
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			row += dst[i*n+j]
+		}
+		if row > 0 {
+			inv := 1 / row
+			for j := 0; j < n; j++ {
+				dst[i*n+j] *= inv
+			}
+		}
+	}
+}

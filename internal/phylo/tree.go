@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Node is a vertex of a phylogenetic tree. Leaf nodes carry a taxon
@@ -30,6 +31,29 @@ func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
 type Tree struct {
 	Root  *Node
 	Nodes []*Node // all nodes; Nodes[i].ID == i
+
+	// uid is the tree object's process-unique identity, assigned
+	// lazily by UID. Caching engines key per-tree state on it; unlike
+	// the pointer itself it is never reused after garbage collection,
+	// so cache hit patterns are deterministic.
+	uid atomic.Uint64
+}
+
+// treeUIDs issues process-unique tree identities. Only uniqueness
+// matters — a cache keyed by UID hits exactly when the same tree
+// object is seen again, regardless of the counter's absolute values.
+var treeUIDs atomic.Uint64
+
+// UID returns the tree object's unique identity, assigning one on
+// first use. Safe for concurrent callers; all of them observe the same
+// value. Clones get fresh identities — a UID follows the object, not
+// the topology.
+func (t *Tree) UID() uint64 {
+	if u := t.uid.Load(); u != 0 {
+		return u
+	}
+	t.uid.CompareAndSwap(0, treeUIDs.Add(1))
+	return t.uid.Load()
 }
 
 // NumTaxa returns the number of leaves.
