@@ -14,11 +14,15 @@ FAULT_BENCH_PATTERN = FaultScenario
 # EXPERIMENTS.md "Crash recovery".
 WAL_BENCH_PATTERN = WALScenario
 
+# The PR8 workflow-engine benchmarks (flat manual chaining vs one
+# typed DAG); see EXPERIMENTS.md "Workflow engine".
+DAG_BENCH_PATTERN = DagWorkflow
+
 # Machine-readable analyzer report: every finding, suppressed ones
 # included and marked, for dashboards and suppression audits.
 LINT_ARTIFACT = latticelint.json
 
-.PHONY: all build vet lint lint-fixtures test race smoke faults crash check bench bench-smoke bench-json bench-json-engine bench-json-faults bench-json-wal
+.PHONY: all build vet lint lint-fixtures test race smoke faults crash dag check bench bench-smoke bench-json bench-json-engine bench-json-faults bench-json-wal bench-json-dag
 
 all: check
 
@@ -86,6 +90,12 @@ bench-json-faults:
 bench-json-wal:
 	$(GO) test -run '^$$' -bench '$(WAL_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
+# bench-json-dag regenerates the committed workflow-engine artifact
+# (flat manual chaining vs one typed DAG: wall time and mean
+# stage-queue wait).
+bench-json-dag:
+	$(GO) test -run '^$$' -bench '$(DAG_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR8.json
+
 # faults runs the fault-injection scenario under the race detector:
 # conservation (every job exactly one terminal state) and same-seed
 # determinism under the default hostile schedule.
@@ -99,11 +109,20 @@ faults:
 crash:
 	$(GO) test -race -run TestCrashScenarioShape ./internal/experiments/
 
+# dag runs both workflow-engine scenarios under the race detector: the
+# four-stage standard analysis as one typed DAG (readiness ordering,
+# service-grid placement of short stages, conservation, same-seed
+# determinism) and the same graph killed three times mid-workflow and
+# recovered from the WAL with a bit-identical final digest.
+dag:
+	$(GO) test -race -run 'TestDagScenarioShape|TestDagCrashScenarioShape' ./internal/experiments/
+
 # check is the full correctness gate: compile, go vet, the project
 # analyzers (failing on any unsuppressed finding), the analyzer
 # fixture self-tests under -race, the test suite under the race
 # detector (which includes the forest/BOINC concurrency stress tests),
-# the fault-injection scenario under -race, the grid boot smoke that
-# scrapes /metrics over real HTTP, and one execution of every engine
-# benchmark body so benchmark code cannot rot.
-check: build vet lint lint-fixtures race faults crash smoke bench-smoke
+# the fault-injection, crash-recovery and workflow scenarios under
+# -race, the grid boot smoke that scrapes /metrics over real HTTP, and
+# one execution of every engine benchmark body so benchmark code
+# cannot rot.
+check: build vet lint lint-fixtures race faults crash dag smoke bench-smoke

@@ -609,3 +609,35 @@ func BenchmarkWALScenario(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDagWorkflow prices the workflow engine: the four-stage
+// standard analysis run flat (every stage submitted up front as an
+// independent batch, the way the paper's users chained submissions by
+// hand) versus as one typed DAG. Reports wall time and mean
+// stage-queue wait (job place wait). The pair is the PR8 artifact
+// (BENCH_PR8.json, `make bench-json-dag`).
+func BenchmarkDagWorkflow(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		useDag bool
+	}{
+		{"flat", false},
+		{"dag", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, wait, err := experiments.WorkflowOverheadRun(1, c.useDag)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Completed+m.Failed != m.Jobs {
+					b.Fatalf("stages not terminal: %+v", m)
+				}
+				if i == 0 {
+					b.ReportMetric(m.Makespan.Hours(), "makespan-h")
+					b.ReportMetric(wait.Hours(), "mean-wait-h")
+				}
+			}
+		})
+	}
+}

@@ -47,6 +47,10 @@ var registry = []experiment{
 		func(s int64) (fmt.Stringer, error) { return experiments.FaultScenario(s) }},
 	{"crash", "Crash recovery — coordinator killed mid-batch, resumed from the WAL",
 		func(s int64) (fmt.Stringer, error) { return experiments.CrashScenario(s) }},
+	{"dag", "Workflow engine — four-stage analysis as one typed DAG",
+		func(s int64) (fmt.Stringer, error) { return experiments.DagScenario(s) }},
+	{"dagcrash", "Workflow crash recovery — coordinator killed mid-graph, resumed from the WAL",
+		func(s int64) (fmt.Stringer, error) { return experiments.DagCrashScenario(s) }},
 	{"abl-mtry", "Ablation — covariate subsampling (mtry)",
 		func(s int64) (fmt.Stringer, error) { return experiments.AblationMtry(s, 150) }},
 	{"abl-size", "Ablation — forest size",

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"lattice/internal/core"
+	"lattice/internal/dag"
 	"lattice/internal/obs"
 	"lattice/internal/sim"
 	"lattice/internal/workload"
@@ -51,6 +52,7 @@ func run() error {
 		smoke       = flag.Bool("smoke", false, "boot, run a small workload, self-scrape /metrics, and exit")
 		withFaults  = flag.Bool("faults", false, "run under the default hostile fault schedule (outages, flaps, churn, lost results)")
 		durable     = flag.String("durable", "", "directory for crash-consistent state (WAL + snapshots); on boot, existing state there is recovered")
+		workflow    = flag.Bool("workflow", false, "submit the four-stage standard-analysis demo workflow at boot; watch it at /workflow/<id>")
 	)
 	flag.Parse()
 
@@ -88,6 +90,16 @@ func run() error {
 	}
 	if *smoke {
 		return runSmoke(lat)
+	}
+	if *workflow {
+		wf := dag.StandardAnalysis("standard-analysis", "demo@example.edu", *seed,
+			workload.NewGenerator(*seed).Submission().Spec, 8, 100)
+		run, err := lat.SubmitWorkflow(wf)
+		if err != nil {
+			return fmt.Errorf("demo workflow: %w", err)
+		}
+		fmt.Printf("demo workflow %s submitted: %d stages (model-selection → search ∥ bootstrap → consensus); status at /workflow/%s\n",
+			run.ID, len(run.Order), run.ID)
 	}
 	fmt.Printf("The Lattice Project — grid up with %d resources, %d CPU cores visible\n",
 		len(lat.ResourceNames()), lat.TotalCores())

@@ -212,6 +212,19 @@ func (rec *recorder) Submission(at sim.Time, origin string, sub workload.Submiss
 	})
 }
 
+// Workflow implements dag.Durability: the workflow is an input like a
+// submission — stage batches derived from it are regenerated by
+// re-execution and deliberately not recorded.
+func (rec *recorder) Workflow(at sim.Time, wf workload.Workflow) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	w := wf
+	rec.emit(wal.Record{
+		At: at, Kind: wal.KindWorkflow, WF: &w,
+		Pre: rec.eng.Steps() == 0,
+	})
+}
+
 // User implements portal.Durability.
 func (rec *recorder) User(at sim.Time, token, email string) {
 	rec.mu.Lock()
@@ -231,6 +244,7 @@ func (l *Lattice) wireDurable(rec *recorder) {
 	l.Obs.Journal.SetObserver(rec.Stage)
 	l.Scheduler.SetDurable(rec)
 	l.Service.SetDurable(rec)
+	l.Workflows.SetDurable(rec)
 	l.Portal.SetDurable(rec)
 	if l.Boinc != nil {
 		l.Boinc.SetDurable(rec)

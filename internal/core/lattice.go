@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"lattice/internal/boinc"
+	"lattice/internal/dag"
 	"lattice/internal/estimate"
 	"lattice/internal/faults"
 	"lattice/internal/grid/mds"
@@ -146,6 +147,9 @@ type Lattice struct {
 	Estimator *estimate.Estimator
 	Portal    *portal.Portal
 	Boinc     *boinc.Server // nil if no BOINC resource configured
+	// Workflows is the stage-DAG workflow engine, mapping ready
+	// stages onto the GSBL batch path.
+	Workflows *dag.Engine
 	// Obs is the deployment-wide observability hub: metrics, traces,
 	// and the job-lifecycle journal, all on virtual time.
 	Obs *obs.Obs
@@ -273,8 +277,10 @@ func build(cfg Config, rebuild bool) (*Lattice, error) {
 	l.Mailer = &gsbl.Mailer{}
 	l.Service = gsbl.NewService(eng, l.Scheduler, l.Mailer, rng.Stream("gsbl"))
 	l.Service.SetObs(l.Obs)
+	l.Workflows = dag.NewEngine(eng, l.Service, l.Obs, dag.Config{})
 	l.Portal = portal.New(eng, l.Service)
 	l.Portal.SetObs(l.Obs)
+	l.Portal.SetWorkflows(l.Workflows)
 	l.Portal.SetStatusSource(func() any {
 		type row struct {
 			Name    string `json:"name"`
@@ -401,6 +407,14 @@ func (l *Lattice) SubmitSubmission(sub workload.Submission) (*gsbl.Batch, error)
 		l.forkReferenceReplicate(sub)
 	}
 	return b, nil
+}
+
+// SubmitWorkflow validates and starts a stage-DAG workflow: each
+// stage becomes a derived GSBL batch the moment its dependencies
+// finish. The workflow itself is the durable input; stage batches are
+// regenerated by deterministic re-execution on recovery.
+func (l *Lattice) SubmitWorkflow(wf workload.Workflow) (*dag.Run, error) {
+	return l.Workflows.Submit(wf)
 }
 
 // forkReferenceReplicate runs one replicate on the homogeneous

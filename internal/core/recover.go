@@ -145,6 +145,14 @@ func (l *Lattice) applyInput(r wal.Record) error {
 	case wal.KindUser:
 		l.Portal.RestoreUser(r.Token, r.Email)
 		return nil
+	case wal.KindWorkflow:
+		if r.WF == nil {
+			return fmt.Errorf("core: workflow record %d has no payload", r.Seq)
+		}
+		if _, err := l.SubmitWorkflow(*r.WF); err != nil {
+			return fmt.Errorf("core: replaying workflow record %d: %w", r.Seq, err)
+		}
+		return nil
 	case wal.KindSubmission:
 		if r.Sub == nil {
 			return fmt.Errorf("core: submission record %d has no payload", r.Seq)

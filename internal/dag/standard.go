@@ -1,0 +1,33 @@
+package dag
+
+import "lattice/internal/workload"
+
+// StandardAnalysis builds the canonical four-stage phylogenetic
+// workflow the paper's users ran by hand as separate submissions:
+//
+//	model-selection ──► search ─────┐
+//	        │                       ├──► consensus
+//	        └─────────► bootstrap ──┘
+//
+// Model selection (short, service-grid) picks the substitution model;
+// the best-tree search and the bootstrap fan-out both depend on it
+// and run as independent branches; the majority-rule consensus reduce
+// (short, service-grid) joins them. Every stage shares the base spec;
+// the setup and reduce stages run a single search replicate.
+func StandardAnalysis(name, email string, seed int64, spec workload.JobSpec, searchReps, bootstraps int) workload.Workflow {
+	short := spec
+	short.SearchReps = 1
+	return workload.Workflow{
+		Name:      name,
+		UserEmail: email,
+		Seed:      seed,
+		Stages: []workload.WorkflowStage{
+			{ID: "model-selection", Spec: short, Replicates: 1, Short: true},
+			{ID: "search", Spec: spec, Replicates: searchReps, After: []string{"model-selection"}},
+			{ID: "bootstrap", Spec: spec, Replicates: bootstraps, Bootstrap: true,
+				After: []string{"model-selection"}},
+			{ID: "consensus", Spec: short, Replicates: 1, Short: true,
+				After: []string{"search", "bootstrap"}},
+		},
+	}
+}

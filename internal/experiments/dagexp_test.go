@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+func TestDagScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid simulation experiment")
+	}
+	r, err := DagScenario(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.Stages != 4 {
+		t.Errorf("workflow has %d stages, want 4", r.Stages)
+	}
+	if r.RunState != "complete" {
+		t.Errorf("run state %q, want complete", r.RunState)
+	}
+	if r.Jobs < 4 {
+		t.Errorf("workflow expanded into %d grid jobs, want >= 4", r.Jobs)
+	}
+	if !r.OrderOK {
+		t.Error("readiness violated: a stage dispatched before its dependencies finished")
+	}
+	if !r.ShortOnService {
+		t.Error("placement violated: a short stage job landed on the volunteer pool")
+	}
+	if !r.Conserved {
+		t.Error("conservation violated: a stage job missed or repeated its terminal state")
+	}
+	if !r.DigestsEqual {
+		t.Error("determinism violated: same-seed workflow runs diverged (digest or exposition)")
+	}
+	if r.Digest == "" {
+		t.Error("workflow run produced no journal digest")
+	}
+}
+
+func TestDagCrashScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid simulation experiment")
+	}
+	r, err := DagCrashScenario(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.Kills < 3 {
+		t.Errorf("schedule holds %d kills, want >= 3", r.Kills)
+	}
+	if r.Recoveries < r.Kills {
+		t.Errorf("run recovered %d times for %d scheduled kills", r.Recoveries, r.Kills)
+	}
+	if !r.TornRecovered {
+		t.Error("torn log tail was never detected and survived")
+	}
+	if r.RunState != "complete" {
+		t.Errorf("recovered run state %q, want complete", r.RunState)
+	}
+	if !r.Conserved {
+		t.Error("conservation violated across kills")
+	}
+	if !r.DigestsEqual {
+		t.Error("crashed-and-recovered workflow diverged from the uninterrupted run")
+	}
+}

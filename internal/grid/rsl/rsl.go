@@ -208,6 +208,11 @@ type JobDescription struct {
 	// function in the paper's Section IV).
 	InputMB  float64
 	OutputMB float64
+	// ServiceOnly excludes desktop-grid (BOINC) resources from
+	// placement: the job must run on a service-grid resource. Set for
+	// short workflow stages where volunteer-pool turnaround latency
+	// would dominate.
+	ServiceOnly bool
 }
 
 // Validate checks required fields.
@@ -261,6 +266,9 @@ func (d *JobDescription) ToSpec() *Spec {
 	if d.DelayBound > 0 {
 		s.Set("x-delaybound", strconv.FormatFloat(d.DelayBound.Seconds(), 'g', -1, 64))
 	}
+	if d.ServiceOnly {
+		s.Set("x-serviceonly", "true")
+	}
 	s.Set("x-work", strconv.FormatFloat(d.Work, 'g', -1, 64))
 	if d.InputMB > 0 {
 		s.Set("x-inputmb", strconv.FormatFloat(d.InputMB, 'g', -1, 64))
@@ -301,6 +309,9 @@ func FromSpec(s *Spec) (*JobDescription, error) {
 	d.Software = append([]string(nil), s.GetAll("software")...)
 	if v, ok := s.Get("jobtype"); ok && v == "mpi" {
 		d.NeedsMPI = true
+	}
+	if v, ok := s.Get("x-serviceonly"); ok && v == "true" {
+		d.ServiceOnly = true
 	}
 	fl := func(name string) (float64, error) {
 		v, ok := s.Get(name)

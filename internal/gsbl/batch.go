@@ -29,10 +29,16 @@ type BatchStatus struct {
 type Batch struct {
 	ID         string
 	Submission workload.Submission
-	Jobs       []*metasched.GridJob
-	CreatedAt  sim.Time
-	DoneAt     sim.Time
-	done       bool
+	// Origin labels the path the submission arrived through: "service",
+	// "portal", "core", or "<run>/<stage>" for a workflow stage batch.
+	Origin    string
+	Jobs      []*metasched.GridJob
+	CreatedAt sim.Time
+	DoneAt    sim.Time
+	done      bool
+	// onDone fires once when the batch reaches its terminal state;
+	// the workflow engine uses it to advance the stage graph.
+	onDone func(BatchStatus)
 }
 
 // Service is the grid-services facade: it validates submissions,
@@ -104,17 +110,41 @@ func (s *Service) SubmitBatchOrigin(sub workload.Submission, origin string) (*Ba
 		// assignment mutates it).
 		s.durable.Submission(s.eng.Now(), origin, sub)
 	}
+	return s.submit(sub, origin,
+		fmt.Sprintf("%d replicates for %s", sub.Replicates, sub.UserEmail), nil)
+}
+
+// SubmitBatchDerived schedules a submission derived from an input the
+// durability layer already witnessed — a workflow stage batch. It is
+// deliberately *not* recorded as a WAL input: crash recovery
+// re-injects the workflow itself, and deterministic re-execution
+// regenerates every stage submission; recording both would
+// double-inject on replay. The origin labels the deriving context
+// ("<run>/<stage>") through the journal, and onDone fires once when
+// the batch reaches its terminal state.
+func (s *Service) SubmitBatchDerived(sub workload.Submission, origin string, onDone func(BatchStatus)) (*Batch, error) {
+	if err := s.Validate(&sub); err != nil {
+		return nil, err
+	}
+	return s.submit(sub, origin,
+		fmt.Sprintf("%d replicates for %s via %s", sub.Replicates, sub.UserEmail, origin), onDone)
+}
+
+// submit is the shared accept path: batch bookkeeping, trace root,
+// validation journal event, scheduler expansion, submission mail.
+func (s *Service) submit(sub workload.Submission, origin, validateDetail string, onDone func(BatchStatus)) (*Batch, error) {
 	s.nextID++
 	b := &Batch{
 		ID:         fmt.Sprintf("batch-%06d", s.nextID),
 		Submission: sub,
+		Origin:     origin,
 		CreatedAt:  s.eng.Now(),
+		onDone:     onDone,
 	}
 	// Root the batch's trace before any job span, and journal the
 	// validation pre-pass (batch-level event, no job ID).
 	s.obs.Root(b.ID)
-	s.obs.Record(b.ID, "", obs.StageValidate, "",
-		fmt.Sprintf("%d replicates for %s", sub.Replicates, sub.UserEmail))
+	s.obs.Record(b.ID, "", obs.StageValidate, "", validateDetail)
 	sub.BatchTag = b.ID
 	jobs, err := s.sched.SubmitBatch(&sub, s.rng, func(j *metasched.GridJob) { s.jobDone(b, j) })
 	if err != nil {
@@ -127,6 +157,20 @@ func (s *Service) SubmitBatchOrigin(sub workload.Submission, origin string) (*Ba
 		fmt.Sprintf("Your submission of %d replicates was accepted as %s (%d grid jobs).",
 			sub.Replicates, b.ID, len(jobs)))
 	return b, nil
+}
+
+// RunStage implements the workflow engine's Runner contract
+// (internal/dag): a ready stage becomes an ordinary derived batch
+// whose origin names the workflow run and stage, and the stage
+// advances when the batch is terminal.
+func (s *Service) RunStage(runID, stageID string, sub workload.Submission, done func(completed, failed int)) (string, error) {
+	b, err := s.SubmitBatchDerived(sub, runID+"/"+stageID, func(st BatchStatus) {
+		done(st.Completed, st.Failed)
+	})
+	if err != nil {
+		return "", err
+	}
+	return b.ID, nil
 }
 
 // jobDone handles a terminal job state and fires batch-level events.
@@ -145,6 +189,9 @@ func (s *Service) jobDone(b *Batch, j *metasched.GridJob) {
 			fmt.Sprintf("[Lattice] %s complete", b.ID),
 			fmt.Sprintf("All %d jobs finished (%d completed, %d failed). Results are ready for download.",
 				st.Total, st.Completed, st.Failed))
+		if b.onDone != nil {
+			b.onDone(st)
+		}
 	}
 }
 

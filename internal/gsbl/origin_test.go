@@ -1,0 +1,93 @@
+package gsbl
+
+import (
+	"strings"
+	"testing"
+
+	"lattice/internal/obs"
+	"lattice/internal/sim"
+)
+
+// TestBatchOriginPropagation follows a workflow stage's identity down
+// the stack: RunStage stamps Batch.Origin as "<run>/<stage>", the
+// validation journal event names the origin, and the batch ID the
+// stage received threads through the meta-scheduler's submit, place
+// and dispatch events all the way to terminal completion.
+func TestBatchOriginPropagation(t *testing.T) {
+	eng, svc, _ := testService(t)
+	o := obs.New(eng)
+	svc.SetObs(o)
+	svc.sched.SetObs(o)
+
+	fired, gotCompleted, gotFailed := 0, -1, -1
+	id, err := svc.RunStage("wf-000001", "search", smallSubmission(3), func(c, f int) {
+		fired++
+		gotCompleted, gotFailed = c, f
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := svc.Batch(id)
+	if !ok {
+		t.Fatalf("stage batch %s not registered", id)
+	}
+	if b.Origin != "wf-000001/search" {
+		t.Fatalf("Batch.Origin = %q, want wf-000001/search", b.Origin)
+	}
+
+	eng.RunUntil(sim.Time(30 * sim.Day))
+	if fired != 1 || gotCompleted != 3 || gotFailed != 0 {
+		t.Fatalf("stage completion = (fired=%d, completed=%d, failed=%d), want (1, 3, 0)",
+			fired, gotCompleted, gotFailed)
+	}
+
+	perStage := make(map[obs.Stage]int)
+	for _, ev := range o.Journal.Events() {
+		if ev.Batch != id {
+			continue
+		}
+		perStage[ev.Stage]++
+		if ev.Stage == obs.StageValidate && !strings.Contains(ev.Detail, "via wf-000001/search") {
+			t.Errorf("validate detail %q does not name the stage origin", ev.Detail)
+		}
+	}
+	if perStage[obs.StageValidate] != 1 {
+		t.Errorf("validate events = %d, want 1", perStage[obs.StageValidate])
+	}
+	for _, st := range []obs.Stage{obs.StageSubmit, obs.StagePlace, obs.StageDispatch, obs.StageComplete} {
+		if perStage[st] < 3 {
+			t.Errorf("%s events under batch %s = %d, want >= 3 (one per replicate)",
+				st, id, perStage[st])
+		}
+	}
+	if perStage[obs.StageComplete] != 3 {
+		t.Errorf("complete events = %d, want exactly 3", perStage[obs.StageComplete])
+	}
+}
+
+// TestDirectOriginKeepsFlatDetail pins the pre-workflow validate
+// detail byte-for-byte: journal digests of existing scenarios depend
+// on it, so only derived stage batches may use the "via" form.
+func TestDirectOriginKeepsFlatDetail(t *testing.T) {
+	eng, svc, _ := testService(t)
+	o := obs.New(eng)
+	svc.SetObs(o)
+
+	b, err := svc.SubmitBatchOrigin(smallSubmission(2), "service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Origin != "service" {
+		t.Fatalf("Batch.Origin = %q, want service", b.Origin)
+	}
+	_ = eng
+	for _, ev := range o.Journal.Events() {
+		if ev.Batch == b.ID && ev.Stage == obs.StageValidate {
+			if ev.Detail != "2 replicates for researcher@example.edu" {
+				t.Fatalf("direct validate detail = %q; must stay byte-identical to the flat form", ev.Detail)
+			}
+			return
+		}
+	}
+	t.Fatal("no validate event recorded for direct batch")
+}

@@ -24,6 +24,7 @@ comparison with //lint:allow floatcmp.`,
 		"internal/estimate",
 		"internal/forest",
 		"internal/faults",
+		"internal/dag",
 	},
 	Run: runFloatCmp,
 }

@@ -102,8 +102,9 @@ func (s *Scheduler) SubmitBatch(sub *workload.Submission, rng *sim.RNG, onDone f
 			Platforms:   []lrm.Platform{lrm.LinuxX86, lrm.WindowsX86, lrm.DarwinX86},
 			Work:        spec.SampleWork(rng),
 			// Input: the sequence matrix; output: trees and logs.
-			InputMB:  float64(spec.NumTaxa) * float64(spec.SeqLength) / (1 << 20),
-			OutputMB: 0.5,
+			InputMB:     float64(spec.NumTaxa) * float64(spec.SeqLength) / (1 << 20),
+			OutputMB:    0.5,
+			ServiceOnly: sub.ServiceOnly,
 		}
 		if n > 1 {
 			s.stats.Bundled += n - 1
@@ -179,6 +180,12 @@ func (s *Scheduler) eligible(j *GridJob, c candidate) bool {
 		factor = 2
 	}
 	if c.info.TotalCPUs > 0 && float64(c.res.active) >= factor*float64(c.info.TotalCPUs) {
+		return false
+	}
+	// Service-grid restriction: short workflow stages never go to the
+	// volunteer pool, whose turnaround latency (deadline slack, host
+	// churn) would dwarf their compute.
+	if d.ServiceOnly && c.info.Kind == "boinc" {
 		return false
 	}
 	if len(d.Platforms) > 0 && !platformsOverlap(d.Platforms, c.info.Platforms) {

@@ -39,6 +39,24 @@ const (
 	StageFail     Stage = "fail"
 )
 
+// Workflow-level stages, recorded by internal/dag with the workflow
+// run ID in the Batch field and the stage ID (not a grid job ID) in
+// the Job field. None of them is terminal in the job-conservation
+// sense: a workflow stage expands into grid jobs that carry their own
+// submit→terminal lifecycles.
+const (
+	StageWfSubmit    Stage = "wf-submit"
+	StageWfReady     Stage = "wf-ready"
+	StageWfDispatch  Stage = "wf-dispatch"
+	StageWfStageDone Stage = "wf-stage-done"
+	StageWfStageFail Stage = "wf-stage-fail"
+	StageWfRetry     Stage = "wf-retry"
+	StageWfSkip      Stage = "wf-skip"
+	StageWfRerun     Stage = "wf-rerun"
+	StageWfComplete  Stage = "wf-complete"
+	StageWfFail      Stage = "wf-fail"
+)
+
 // Terminal reports whether the stage ends a job's lifecycle.
 func (s Stage) Terminal() bool { return s == StageComplete || s == StageFail }
 

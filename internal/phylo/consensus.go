@@ -39,6 +39,22 @@ func (s *SplitSupport) Support(bp Bipartition) float64 {
 // taxa 0..numTaxa-1 from the tallied splits: every split appearing in
 // more than half the trees is included (they are mutually compatible
 // by the majority property). Node names carry the support percentage.
+//
+// Edge cases, pinned down because workflow consensus stages reduce
+// small bootstrap counts where they actually occur:
+//
+//   - Exactly-50% splits are excluded. The majority test is strict
+//     (2*count > Total), so a split present in exactly half the trees
+//     — always possible with an even tree count, and common with two
+//     — is deterministically dropped, never tie-broken by input
+//     order. Two exactly-50% splits can be mutually incompatible, so
+//     including either would make the result order-dependent; strict
+//     majority is what keeps the reduce bit-deterministic.
+//   - Two-tree input degenerates to the strict consensus: a split
+//     clears 2*count > 2 only at count == 2, i.e. when both trees
+//     contain it, so the result is exactly their shared splits with
+//     100% support, and conflicting splits collapse into polytomies.
+//   - Fewer than 3 taxa is an error: no non-trivial split exists.
 func (s *SplitSupport) MajorityRuleConsensus(names []string) (*Tree, error) {
 	numTaxa := len(names)
 	if numTaxa < 3 {

@@ -1,0 +1,121 @@
+package phylo
+
+import (
+	"strings"
+	"testing"
+)
+
+// consensusTaxa maps names a..f to indices for hand-built trees.
+func consensusTaxa(names []string) map[string]int {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	return idx
+}
+
+func mustTree(t *testing.T, newick string, idx map[string]int) *Tree {
+	t.Helper()
+	tr, err := ParseNewick(newick, idx)
+	if err != nil {
+		t.Fatalf("ParseNewick(%q): %v", newick, err)
+	}
+	return tr
+}
+
+// TestConsensusExactlyFiftyPercentTie: with an even number of trees a
+// split can appear in exactly half of them. The majority test is
+// strict, so such ties are dropped — deterministically, regardless of
+// input order — and two conflicting 50% splits collapse into a
+// polytomy instead of either one winning by accident.
+func TestConsensusExactlyFiftyPercentTie(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	idx := consensusTaxa(names)
+	t1 := mustTree(t, "((a:1,b:1):1,(c:1,d:1):1):0;", idx)
+	t2 := mustTree(t, "((a:1,c:1):1,(b:1,d:1):1):0;", idx)
+
+	for _, order := range [][]*Tree{{t1, t2}, {t2, t1}} {
+		cons, err := NewSplitSupport(order).MajorityRuleConsensus(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cons.Bipartitions(); len(got) != 0 {
+			t.Fatalf("50%% splits must be excluded; consensus kept %v", got)
+		}
+		// The result is the star tree over all four taxa.
+		if got := cons.Newick(); strings.Count(got, "(") != 1 {
+			t.Fatalf("expected a star tree, got %s", got)
+		}
+	}
+}
+
+// TestConsensusTwoTrees: two trees degenerate to the strict consensus
+// — shared splits survive at 100%, conflicting ones vanish.
+func TestConsensusTwoTrees(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	idx := consensusTaxa(names)
+	// Both trees contain the split {a,b}; they disagree about {c,d}
+	// vs {d,e}.
+	t1 := mustTree(t, "((a:1,b:1):1,(c:1,(d:1,e:1):1):1):0;", idx)
+	t2 := mustTree(t, "((a:1,b:1):1,((c:1,d:1):1,e:1):1):0;", idx)
+
+	cons, err := NewSplitSupport([]*Tree{t1, t2}).MajorityRuleConsensus(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cons.Bipartitions()
+	shared := canonicalSplit([]int{idx["a"], idx["b"]}, len(names))
+	if !got[shared] {
+		t.Fatalf("shared split {a,b} missing from consensus %v", got)
+	}
+	for bp := range got {
+		if bp != shared {
+			t.Fatalf("unshared split %v leaked into a two-tree consensus", bp)
+		}
+	}
+	// Support labels on the kept group read 100.
+	if nw := cons.Newick(); !strings.Contains(nw, "a") || !strings.Contains(nw, "e") {
+		t.Fatalf("consensus lost taxa: %s", nw)
+	}
+	var label string
+	cons.PostOrder(func(n *Node) {
+		if !n.IsLeaf() && n.Parent != nil {
+			label = n.Name
+		}
+	})
+	if label != "100" {
+		t.Fatalf("shared split support label = %q, want 100", label)
+	}
+}
+
+// TestConsensusIdenticalTrees: unanimous input reproduces the input
+// topology with every split at 100%.
+func TestConsensusIdenticalTrees(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	idx := consensusTaxa(names)
+	newick := "((a:1,b:1):1,(c:1,(d:1,e:1):1):1):0;"
+	t1 := mustTree(t, newick, idx)
+	t2 := mustTree(t, newick, idx)
+
+	cons, err := NewSplitSupport([]*Tree{t1, t2}).MajorityRuleConsensus(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := t1.Bipartitions()
+	got := cons.Bipartitions()
+	if len(got) != len(want) {
+		t.Fatalf("consensus splits %v != input splits %v", got, want)
+	}
+	for bp := range want {
+		if !got[bp] {
+			t.Fatalf("input split %v missing from unanimous consensus", bp)
+		}
+	}
+}
+
+func TestConsensusNeedsThreeTaxa(t *testing.T) {
+	s := NewSplitSupport(nil)
+	if _, err := s.MajorityRuleConsensus([]string{"a", "b"}); err == nil {
+		t.Fatal("consensus over 2 taxa must fail")
+	}
+}

@@ -1,0 +1,53 @@
+package phylo
+
+import "testing"
+
+// TestBootstrapReplicateBitIdentity: same (seed, rep) must resample to
+// bit-identical weights no matter when or in what order the replicate
+// runs — re-deriving rep 7 alone equals deriving it amid 0..9.
+func TestBootstrapReplicateBitIdentity(t *testing.T) {
+	a := smallNucAlignment()
+	pd, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 42
+
+	inOrder := make([][]float64, 10)
+	for rep := 0; rep < 10; rep++ {
+		inOrder[rep] = append([]float64(nil), pd.BootstrapReplicate(seed, rep).Weights...)
+	}
+	// Reverse order, and rep 7 standalone on a fresh compile.
+	for rep := 9; rep >= 0; rep-- {
+		got := pd.BootstrapReplicate(seed, rep).Weights
+		for i := range got {
+			if got[i] != inOrder[rep][i] {
+				t.Fatalf("rep %d weight[%d] = %v out of order, %v in order", rep, i, got[i], inOrder[rep][i])
+			}
+		}
+	}
+	pd2, err := smallNucAlignment().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := pd2.BootstrapReplicate(seed, 7).Weights
+	for i := range solo {
+		if solo[i] != inOrder[7][i] {
+			t.Fatalf("standalone rep 7 weight[%d] = %v, want %v", i, solo[i], inOrder[7][i])
+		}
+	}
+}
+
+// TestSubStreamIndependence: distinct reps, labels, and seeds give
+// distinct streams; equal triples give equal streams.
+func TestSubStreamIndependence(t *testing.T) {
+	base := SubStream(1, "x", 0).Float64()
+	if SubStream(1, "x", 0).Float64() != base {
+		t.Fatal("same (seed,label,rep) must reproduce the stream")
+	}
+	if SubStream(1, "x", 1).Float64() == base &&
+		SubStream(1, "y", 0).Float64() == base &&
+		SubStream(2, "x", 0).Float64() == base {
+		t.Fatal("varying rep, label, and seed all collided with the base stream")
+	}
+}

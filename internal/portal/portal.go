@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"lattice/internal/dag"
 	"lattice/internal/gsbl"
 	"lattice/internal/obs"
 	"lattice/internal/phylo"
@@ -44,6 +45,9 @@ type Portal struct {
 	// disk (written atomically) so a crash mid-write can never leave a
 	// truncated archive behind.
 	artifactDir string
+	// wfs, when set (see SetWorkflows), backs the workflow submission
+	// and per-stage status endpoints.
+	wfs *dag.Engine
 }
 
 // Durability is the write-ahead-log hook for portal account state.
@@ -132,6 +136,16 @@ func (p *Portal) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// SetWorkflows installs the workflow engine behind POST
+// /workflow/create and GET /workflow/{id}. The engine runs on the
+// simulation goroutine, so handlers access it under the portal mutex
+// exactly as they do the service layer.
+func (p *Portal) SetWorkflows(e *dag.Engine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wfs = e
+}
+
 // SetStatusSource installs a provider for the /grid/status endpoint —
 // typically the grid's MDS snapshot plus scheduler statistics.
 func (p *Portal) SetStatusSource(fn func() any) { p.statusFn = fn }
@@ -162,6 +176,8 @@ func (p *Portal) Handler() http.Handler {
 	mux.HandleFunc("/register", p.handleRegister)
 	mux.HandleFunc("/myjobs", p.handleMyJobs)
 	mux.HandleFunc("/batch/", p.handleBatch)
+	mux.HandleFunc("/workflow/create", p.handleWorkflowCreate)
+	mux.HandleFunc("/workflow/", p.handleWorkflowStatus)
 	mux.HandleFunc("/grid/status", p.handleGridStatus)
 	mux.HandleFunc("/metrics", p.handleMetrics)
 	mux.HandleFunc("/trace/", p.handleTrace)
@@ -485,6 +501,92 @@ func (p *Portal) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/html")
 	p.writeBody(w, []byte(page))
+}
+
+// handleWorkflowCreate accepts a JSON workload.Workflow and submits
+// it to the workflow engine. A registered token's email overrides the
+// body's userEmail; guests must supply one in the body.
+func (p *Portal) handleWorkflowCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var wf workload.Workflow
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&wf); err != nil {
+		http.Error(w, "bad workflow JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if tok := r.Header.Get("X-Lattice-Token"); tok != "" {
+		p.mu.Lock()
+		email, ok := p.users[tok]
+		p.mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown token", http.StatusUnauthorized)
+			return
+		}
+		wf.UserEmail = email
+	} else if !strings.Contains(wf.UserEmail, "@") {
+		http.Error(w, "guest workflows require a userEmail", http.StatusBadRequest)
+		return
+	}
+	p.mu.Lock()
+	if p.wfs == nil {
+		p.mu.Unlock()
+		http.Error(w, "workflow engine not configured", http.StatusNotFound)
+		return
+	}
+	run, err := p.wfs.Submit(wf)
+	if err != nil {
+		p.mu.Unlock()
+		http.Error(w, "validation failed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	p.owners[run.ID] = wf.UserEmail
+	p.mu.Unlock()
+	p.writeJSON(w, map[string]any{
+		"workflow": run.ID,
+		"stages":   len(run.Order),
+	})
+}
+
+// handleWorkflowStatus serves /workflow/{id}: per-stage state in
+// topological order, with the same per-user access control as
+// batches.
+func (p *Portal) handleWorkflowStatus(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/workflow/")
+	if id == "" || id == "create" {
+		http.Error(w, "workflow run ID required", http.StatusBadRequest)
+		return
+	}
+	p.mu.Lock()
+	owner, known := p.owners[id]
+	p.mu.Unlock()
+	if !known {
+		http.NotFound(w, r)
+		return
+	}
+	if tok := r.Header.Get("X-Lattice-Token"); tok != "" {
+		p.mu.Lock()
+		email, ok := p.users[tok]
+		p.mu.Unlock()
+		if !ok || email != owner {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+	}
+	p.mu.Lock()
+	if p.wfs == nil {
+		p.mu.Unlock()
+		http.NotFound(w, r)
+		return
+	}
+	st, err := p.wfs.Status(id)
+	p.mu.Unlock()
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	p.writeJSON(w, st)
 }
 
 // handleGridStatus reports the federation's current state. The

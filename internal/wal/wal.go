@@ -50,6 +50,10 @@ const (
 	KindSubmission Kind = "submission"
 	// KindUser is an input: a portal account registration.
 	KindUser Kind = "portal-user"
+	// KindWorkflow is an input: a stage-DAG workflow entering the
+	// workflow engine. Stage batches derived from it are *not*
+	// inputs — re-execution regenerates them from this record.
+	KindWorkflow Kind = "workflow"
 )
 
 // Record is one durable log entry. Seq is a dense 1-based sequence
@@ -84,6 +88,9 @@ type Record struct {
 	// interleave with organic time-zero work exactly as they did live.
 	Pre bool `json:"pre,omitempty"`
 
+	// KindWorkflow payload.
+	WF *workload.Workflow `json:"wf,omitempty"`
+
 	// KindUser payload.
 	Token string `json:"token,omitempty"`
 	Email string `json:"email,omitempty"`
@@ -96,7 +103,7 @@ type Record struct {
 // recovery must re-inject (as opposed to a transition that
 // re-execution regenerates on its own).
 func (r *Record) IsInput() bool {
-	return r.Kind == KindSubmission || r.Kind == KindUser
+	return r.Kind == KindSubmission || r.Kind == KindUser || r.Kind == KindWorkflow
 }
 
 // Options tunes a Log.

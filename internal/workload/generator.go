@@ -24,6 +24,12 @@ type Submission struct {
 	// jobs they expand so observability (internal/obs) can parent
 	// traces and journal events by batch.
 	BatchTag string
+	// ServiceOnly restricts placement to service-grid resources —
+	// clusters and Condor pools behind Globus gatekeepers — and never
+	// the BOINC volunteer pool. Workflow engines set it on short
+	// setup/reduce stages where volunteer turnaround latency would
+	// dwarf the compute.
+	ServiceOnly bool
 }
 
 // MaxReplicates is the portal's per-submission replicate limit.
