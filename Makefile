@@ -18,11 +18,15 @@ WAL_BENCH_PATTERN = WALScenario
 # typed DAG); see EXPERIMENTS.md "Workflow engine".
 DAG_BENCH_PATTERN = DagWorkflow
 
+# The PR9 coordinator-sharding benchmarks (10^5 users through 1/2/4/8
+# shards); see EXPERIMENTS.md "Scale-out".
+SCALE_BENCH_PATTERN = ScaleOut
+
 # Machine-readable analyzer report: every finding, suppressed ones
 # included and marked, for dashboards and suppression audits.
 LINT_ARTIFACT = latticelint.json
 
-.PHONY: all build vet lint lint-fixtures test race smoke faults crash dag check bench bench-smoke bench-json bench-json-engine bench-json-faults bench-json-wal bench-json-dag
+.PHONY: all build vet lint lint-fixtures test race smoke faults crash dag scale check bench bench-smoke bench-json bench-json-engine bench-json-faults bench-json-wal bench-json-dag bench-json-scale
 
 all: check
 
@@ -96,6 +100,12 @@ bench-json-wal:
 bench-json-dag:
 	$(GO) test -run '^$$' -bench '$(DAG_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR8.json
 
+# bench-json-scale regenerates the committed coordinator-sharding
+# artifact (virtual makespan, throughput, front-door wait and queue
+# depth at 1/2/4/8 shards).
+bench-json-scale:
+	$(GO) test -run '^$$' -bench '$(SCALE_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR9.json
+
 # faults runs the fault-injection scenario under the race detector:
 # conservation (every job exactly one terminal state) and same-seed
 # determinism under the default hostile schedule.
@@ -117,12 +127,21 @@ crash:
 dag:
 	$(GO) test -race -run 'TestDagScenarioShape|TestDagCrashScenarioShape' ./internal/experiments/
 
+# scale runs the coordinator-sharding scenario under the race
+# detector: 10^5 simulated users through 1/2/4/8 shards with
+# conservation and bit-identical same-seed twin digests at every
+# shard count, strictly improving makespan 1→2→4, and a shard kill
+# recovered from that shard's WAL alone, digest-equal to an
+# uninterrupted twin.
+scale:
+	$(GO) test -race -timeout 30m -run TestScaleOutShape ./internal/experiments/
+
 # check is the full correctness gate: compile, go vet, the project
 # analyzers (failing on any unsuppressed finding), the analyzer
 # fixture self-tests under -race, the test suite under the race
 # detector (which includes the forest/BOINC concurrency stress tests),
-# the fault-injection, crash-recovery and workflow scenarios under
-# -race, the grid boot smoke that scrapes /metrics over real HTTP, and
-# one execution of every engine benchmark body so benchmark code
-# cannot rot.
-check: build vet lint lint-fixtures race faults crash dag smoke bench-smoke
+# the fault-injection, crash-recovery, workflow and coordinator
+# sharding scenarios under -race, the grid boot smoke that scrapes
+# /metrics over real HTTP, and one execution of every engine benchmark
+# body so benchmark code cannot rot.
+check: build vet lint lint-fixtures race faults crash dag scale smoke bench-smoke

@@ -641,3 +641,32 @@ func BenchmarkDagWorkflow(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScaleOut prices coordinator sharding: 10^5 simulated users
+// pushed through 1, 2, 4 and 8 coordinator shards behind the
+// deterministic router. Reports virtual makespan, throughput, mean
+// front-door wait and peak front-door queue depth per shard count.
+// The sweep is the PR9 artifact (BENCH_PR9.json,
+// `make bench-json-scale`).
+func BenchmarkScaleOut(b *testing.B) {
+	const users = 100000
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := experiments.ScaleOutPoint(1, users, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Completed+p.Failed != p.Jobs || !p.Conserved {
+					b.Fatalf("scale point not terminal/conserved: %+v", p)
+				}
+				if i == 0 {
+					b.ReportMetric(p.MakespanHours, "makespan-h")
+					b.ReportMetric(p.ThroughputPerHour, "jobs-per-h")
+					b.ReportMetric(p.MeanIngestWaitSeconds, "ingest-wait-s")
+					b.ReportMetric(float64(p.PeakIngestDepth), "peak-depth")
+				}
+			}
+		})
+	}
+}

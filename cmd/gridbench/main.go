@@ -36,7 +36,7 @@ func run() error {
 	flag.Parse()
 	if *list {
 		for _, e := range registry {
-			fmt.Printf("%-10s %s\n", e.id, e.title)
+			fmt.Printf("%-10s %s\n%-10s   %s\n", e.id, e.title, "", e.desc)
 		}
 		return nil
 	}

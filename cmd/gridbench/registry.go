@@ -6,55 +6,82 @@ import (
 	"lattice/internal/experiments"
 )
 
-// experiment couples an ID to its runner.
+// experiment couples an ID to its runner. title is the headline shown
+// above the tables; desc is the one-line summary -list prints — what
+// the scenario measures and why it exists.
 type experiment struct {
 	id    string
 	title string
+	desc  string
 	fn    func(seed int64) (fmt.Stringer, error)
 }
 
 // registry lists every reproducible artifact in paper order.
 var registry = []experiment{
 	{"fig2", "Figure 2 — runtime predictor variable importance (10^4 trees)",
+		"Ranks the covariates of the random-forest runtime model by permutation importance.",
 		func(s int64) (fmt.Stringer, error) { return experiments.Fig2(s, 150, 10000) }},
 	{"e3cv", "E3a — cross-validation of runtime predictions",
+		"Measures held-out prediction quality of the runtime model (the paper's ~93% variance explained).",
 		func(s int64) (fmt.Stringer, error) { return experiments.CrossValidation(s, 150, 5) }},
 	{"e3", "E3b — scheduling with vs without runtime estimates",
+		"Compares batch makespan when the scheduler is blind vs estimate-driven.",
 		func(s int64) (fmt.Stringer, error) { return experiments.SchedulingEffect(s) }},
 	{"e4", "E4 — scheduler ranking policies (naive / speed-aware / full)",
+		"Sweeps the ranking criteria to show each term's contribution to placement quality.",
 		func(s int64) (fmt.Stringer, error) { return experiments.SchedulerRanking(s) }},
 	{"e5", "E5 — stability gating of long jobs",
+		"Shows long jobs avoiding unstable pools once stability feeds the ranking.",
 		func(s int64) (fmt.Stringer, error) { return experiments.StabilityGating(s) }},
 	{"e6", "E6 — resource speed calibration",
+		"Recovers per-resource speed factors from benchmark jobs, as the paper's procedure does.",
 		func(s int64) (fmt.Stringer, error) { return experiments.SpeedCalibration(s) }},
 	{"e7", "E7 — BOINC deadlines: manual vs estimate-driven",
+		"Compares volunteer-grid deadline policies on timeout waste and turnaround.",
 		func(s int64) (fmt.Stringer, error) { return experiments.BoincDeadlines(s) }},
 	{"e8", "E8 — BOINC work-request sizing",
+		"Sizes volunteer work requests by estimated runtime instead of fixed counts.",
 		func(s int64) (fmt.Stringer, error) { return experiments.WorkFetch(s) }},
 	{"e9", "E9 — replicate bundling for very short jobs",
+		"Bundles sub-minute replicates so per-job overhead stops dominating.",
 		func(s int64) (fmt.Stringer, error) { return experiments.ReplicateBundling(s) }},
 	{"e10", "E10 — 2000-replicate submission across deployment scales",
+		"Pushes one portal-scale batch through growing federations.",
 		func(s int64) (fmt.Stringer, error) { return experiments.PortalScale(s) }},
 	{"e11", "E11 — federation at the paper's published scale",
+		"Runs the full published resource roster to reproduce system-scale throughput.",
 		func(s int64) (fmt.Stringer, error) { return experiments.SystemScale(s) }},
 	{"e13", "E13 — continuous model retraining under drift",
+		"Retrains the runtime model on reference-cluster forks as the workload drifts.",
 		func(s int64) (fmt.Stringer, error) { return experiments.ContinuousRetraining(s) }},
 	{"e14", "E14 — estimate gating vs checkpoint cycling",
+		"Compares the paper's estimate-gated placement against the checkpoint-cycling alternative it declined.",
 		func(s int64) (fmt.Stringer, error) { return experiments.CheckpointAlternative(s) }},
 	{"perf", "Engine performance — tip-specialized fused kernels, incremental re-evaluation, parallel scoring",
+		"Benchmarks the likelihood-engine hot path before/after the kernel rebuild.",
 		func(s int64) (fmt.Stringer, error) { return experiments.EnginePerf(s, 20, 300, 80) }},
 	{"faults", "Fault injection — conservation and determinism under a hostile schedule",
+		"Proves exactly-one-terminal conservation and same-seed determinism under outages, flaps and lossy channels.",
 		func(s int64) (fmt.Stringer, error) { return experiments.FaultScenario(s) }},
 	{"crash", "Crash recovery — coordinator killed mid-batch, resumed from the WAL",
+		"Kills the coordinator three times mid-batch and verifies bit-identical recovery from the write-ahead log.",
 		func(s int64) (fmt.Stringer, error) { return experiments.CrashScenario(s) }},
 	{"dag", "Workflow engine — four-stage analysis as one typed DAG",
+		"Runs model-selection → search ∥ bootstrap → consensus as a typed DAG with readiness ordering.",
 		func(s int64) (fmt.Stringer, error) { return experiments.DagScenario(s) }},
 	{"dagcrash", "Workflow crash recovery — coordinator killed mid-graph, resumed from the WAL",
+		"Kills the coordinator mid-workflow and verifies the DAG resumes with a bit-identical digest.",
 		func(s int64) (fmt.Stringer, error) { return experiments.DagCrashScenario(s) }},
 	{"abl-mtry", "Ablation — covariate subsampling (mtry)",
+		"Sweeps the forest's per-split covariate sample size.",
 		func(s int64) (fmt.Stringer, error) { return experiments.AblationMtry(s, 150) }},
 	{"abl-size", "Ablation — forest size",
+		"Sweeps the number of trees against prediction quality.",
 		func(s int64) (fmt.Stringer, error) { return experiments.AblationForestSize(s, 150) }},
 	{"abl-imp", "Ablation — permutation vs split-gain importance",
+		"Compares the two importance estimators on the same forests.",
 		func(s int64) (fmt.Stringer, error) { return experiments.AblationImportanceMethod(s, 150) }},
+	{"scale", "Scale-out — 10^5 users through 1/2/4/8 coordinator shards, with crash variant",
+		"Sweeps coordinator shard counts under a million-user-scale load: makespan, queue depth, twin digests, shard-local crash recovery.",
+		func(s int64) (fmt.Stringer, error) { return experiments.ScaleOut(s) }},
 }

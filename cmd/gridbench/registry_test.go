@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryShape pins the registry's contract with -list and -run:
+// unique lower-case IDs, and a non-empty title and one-line
+// description for every scenario.
+func TestRegistryShape(t *testing.T) {
+	if len(registry) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if e.id == "" || e.id != strings.ToLower(e.id) || strings.ContainsAny(e.id, " ,") {
+			t.Errorf("id %q: -run matching lower-cases and comma-splits its input", e.id)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" {
+			t.Errorf("%s: empty title", e.id)
+		}
+		if e.desc == "" {
+			t.Errorf("%s: empty description", e.id)
+		}
+		if strings.Contains(e.desc, "\n") {
+			t.Errorf("%s: description must be one line", e.id)
+		}
+		if e.fn == nil {
+			t.Errorf("%s: nil runner", e.id)
+		}
+	}
+	for _, id := range []string{"fig2", "faults", "crash", "dag", "scale"} {
+		if !seen[id] {
+			t.Errorf("registry lost the %q scenario", id)
+		}
+	}
+}

@@ -30,7 +30,9 @@ import (
 
 	"lattice/internal/core"
 	"lattice/internal/dag"
+	"lattice/internal/faults"
 	"lattice/internal/obs"
+	"lattice/internal/shard"
 	"lattice/internal/sim"
 	"lattice/internal/workload"
 )
@@ -53,6 +55,8 @@ func run() error {
 		withFaults  = flag.Bool("faults", false, "run under the default hostile fault schedule (outages, flaps, churn, lost results)")
 		durable     = flag.String("durable", "", "directory for crash-consistent state (WAL + snapshots); on boot, existing state there is recovered")
 		workflow    = flag.Bool("workflow", false, "submit the four-stage standard-analysis demo workflow at boot; watch it at /workflow/<id>")
+		shards      = flag.Int("shards", 1, "coordinator shard count; above 1 boots a sharded cluster behind a deterministic front router")
+		share       = flag.String("share", "partition", "grid sharing mode under -shards: partition (static split) or lease (rotating leases)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,9 @@ func run() error {
 	if *withFaults {
 		cfg.Faults = core.DefaultFaultSchedule()
 		cfg.Scheduler.StabilityAlpha = 0.2
+	}
+	if *shards > 1 {
+		return runCluster(cfg, *shards, *share, *durable, *withFaults, *smoke, *addr, *accel)
 	}
 	var lat *core.Lattice
 	var err error
@@ -141,6 +148,52 @@ func run() error {
 	}
 	fmt.Printf("portal listening on %s (×%.0f time acceleration)\n", *addr, *accel)
 	return http.ListenAndServe(*addr, lat.Portal.Handler())
+}
+
+// runCluster boots a sharded deployment: N coordinator shards behind
+// the deterministic front router, each with its own engine, metrics
+// hub and (under -durable) WAL directory root/shard<k>.
+func runCluster(base core.Config, shards int, share, durable string, withFaults, smoke bool, addr string, accel float64) error {
+	if smoke {
+		return fmt.Errorf("-smoke checks the flat deployment; run it without -shards")
+	}
+	ccfg := core.ClusterConfig{
+		Shards:      shards,
+		Share:       shard.ShareMode(share),
+		Base:        base,
+		DurableRoot: durable,
+	}
+	// Fault schedules are per shard under a cluster; the template must
+	// stay clean.
+	ccfg.Base.Faults = nil
+	if withFaults {
+		ccfg.ShardFaults = func(int) *faults.Schedule { return core.DefaultFaultSchedule() }
+	}
+	c, err := core.NewCluster(ccfg)
+	if err != nil {
+		return err
+	}
+	if durable != "" {
+		fmt.Printf("durable state: per-shard write-ahead logs under %s/shard<k>\n", durable)
+	}
+	fmt.Printf("The Lattice Project — %d coordinator shards (%s sharing) behind the front router\n",
+		c.Size(), ccfg.Share)
+	for k, lat := range c.Shards {
+		fmt.Printf("  shard %d: %d resources, %d CPU cores visible\n",
+			k, len(lat.ResourceNames()), lat.TotalCores())
+	}
+
+	// Advance every shard's virtual clock continuously.
+	//lint:allow goroleak -- real-time pump lives for the whole process; the OS reaps it at exit
+	go func() {
+		const tick = 250 * time.Millisecond
+		//lint:allow determinism -- the real-time bridge itself: wall ticks drive virtual time only here, outside any digested path
+		for range time.Tick(tick) {
+			c.Pump(sim.Duration(accel * tick.Seconds()))
+		}
+	}()
+	fmt.Printf("front router listening on %s (×%.0f time acceleration)\n", addr, accel)
+	return http.ListenAndServe(addr, c.Handler())
 }
 
 // metricsMux exposes only the observability endpoints — what a

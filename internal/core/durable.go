@@ -45,6 +45,12 @@ type recorder struct {
 	captureAt uint64       // seq at which to capture a snapshot for verification
 	captured  *wal.Snapshot
 	stopAt    uint64 // stop the engine once count reaches this (0: never)
+	// notPre marks the post-pre phase of replay: the inputs being
+	// re-applied were originally recorded after the engine had
+	// stepped, but replay applies them between engine runs — possibly
+	// before the rebuilt engine's first step — so Steps()==0 must not
+	// re-flag them as pre-run inputs.
+	notPre bool
 }
 
 func newRecorder(eng *sim.Engine, seed int64) *recorder {
@@ -141,6 +147,20 @@ func (rec *recorder) snapshot() wal.Snapshot {
 	return rec.snapshotLocked()
 }
 
+// setNotPre toggles the replay marker (see the field comment).
+func (rec *recorder) setNotPre(on bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.notPre = on
+}
+
+// isPre reports whether an input arriving now should carry the Pre
+// mark: nothing has run yet, and we are not replaying inputs that
+// originally arrived later. Callers hold rec.mu.
+func (rec *recorder) isPre() bool {
+	return rec.eng.Steps() == 0 && !rec.notPre
+}
+
 // endRebuild drops rebuild bookkeeping after verification.
 func (rec *recorder) endRebuild() {
 	rec.mu.Lock()
@@ -208,7 +228,20 @@ func (rec *recorder) Submission(at sim.Time, origin string, sub workload.Submiss
 	s := sub
 	rec.emit(wal.Record{
 		At: at, Kind: wal.KindSubmission, Origin: origin, Sub: &s,
-		Pre: rec.eng.Steps() == 0,
+		Pre: rec.isPre(),
+	})
+}
+
+// QueuedSubmission implements gsbl.Durability for the serialized
+// ingest path: the enqueue is the input, so the record carries the
+// Queued mark that routes replay back through the ingest queue.
+func (rec *recorder) QueuedSubmission(at sim.Time, origin string, sub workload.Submission) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	s := sub
+	rec.emit(wal.Record{
+		At: at, Kind: wal.KindSubmission, Origin: origin, Sub: &s, Queued: true,
+		Pre: rec.isPre(),
 	})
 }
 
@@ -221,7 +254,7 @@ func (rec *recorder) Workflow(at sim.Time, wf workload.Workflow) {
 	w := wf
 	rec.emit(wal.Record{
 		At: at, Kind: wal.KindWorkflow, WF: &w,
-		Pre: rec.eng.Steps() == 0,
+		Pre: rec.isPre(),
 	})
 }
 
@@ -231,7 +264,7 @@ func (rec *recorder) User(at sim.Time, token, email string) {
 	defer rec.mu.Unlock()
 	rec.emit(wal.Record{
 		At: at, Kind: wal.KindUser, Token: token, Email: email,
-		Pre: rec.eng.Steps() == 0,
+		Pre: rec.isPre(),
 	})
 }
 

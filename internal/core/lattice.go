@@ -68,6 +68,21 @@ type Config struct {
 	// virtual clock. Nil leaves the production path untouched — no
 	// wrapper, no extra RNG stream, bit-identical behaviour.
 	Faults *faults.Schedule
+	// Ingest, when non-zero, models the coordinator front door as a
+	// serialized queue with per-submission virtual service time (see
+	// gsbl.IngestConfig). Zero keeps the synchronous accept path —
+	// bit-identical to pre-scale-out builds.
+	Ingest gsbl.IngestConfig
+	// IDPrefix qualifies batch and workflow IDs ("shard0-batch-000001")
+	// so a cluster front router can attribute an ID to its coordinator
+	// shard. Empty for single-coordinator deployments.
+	IDPrefix string
+	// ResourceWrap, when non-nil, wraps every resource after fault
+	// wrapping and before MDS/scheduler registration — the seam the
+	// cluster's lease gates install through. The engine is the
+	// deployment's clock for time-dependent wrappers. Nil leaves
+	// resources untouched.
+	ResourceWrap func(eng *sim.Engine, name string, inner lrm.LRM) lrm.LRM
 	// Durable, when non-empty, is a directory for crash-consistent
 	// state: every coordinator transition and input is appended to a
 	// write-ahead log there (see internal/wal), periodic snapshots
@@ -249,6 +264,9 @@ func build(cfg Config, rebuild bool) (*Lattice, error) {
 				l.Faults.AttachChurner(rs.Name, l.Boinc)
 			}
 		}
+		if cfg.ResourceWrap != nil {
+			target = cfg.ResourceWrap(eng, rs.Name, target)
+		}
 		l.resources[rs.Name] = target
 		if _, err := mds.StartProvider(eng, pubSink, target, cfg.ProviderPeriod); err != nil {
 			return nil, err
@@ -277,7 +295,9 @@ func build(cfg Config, rebuild bool) (*Lattice, error) {
 	l.Mailer = &gsbl.Mailer{}
 	l.Service = gsbl.NewService(eng, l.Scheduler, l.Mailer, rng.Stream("gsbl"))
 	l.Service.SetObs(l.Obs)
-	l.Workflows = dag.NewEngine(eng, l.Service, l.Obs, dag.Config{})
+	l.Service.SetIDPrefix(cfg.IDPrefix)
+	l.Service.SetIngest(cfg.Ingest)
+	l.Workflows = dag.NewEngine(eng, l.Service, l.Obs, dag.Config{IDPrefix: cfg.IDPrefix})
 	l.Portal = portal.New(eng, l.Service)
 	l.Portal.SetObs(l.Obs)
 	l.Portal.SetWorkflows(l.Workflows)
@@ -407,6 +427,17 @@ func (l *Lattice) SubmitSubmission(sub workload.Submission) (*gsbl.Batch, error)
 		l.forkReferenceReplicate(sub)
 	}
 	return b, nil
+}
+
+// EnqueueSubmission is the scale-out accept path: the submission is
+// validated and durably recorded now, then expanded into grid jobs
+// when the serialized coordinator front door (Config.Ingest) reaches
+// it. With the ingest model disabled it schedules synchronously. The
+// origin labels the arrival path ("shard3/core" under a cluster); the
+// reference-cluster retraining fork stays a direct-submission feature
+// and is not applied here.
+func (l *Lattice) EnqueueSubmission(sub workload.Submission, origin string, onAccepted func(*gsbl.Batch, error)) error {
+	return l.Service.EnqueueBatchOrigin(sub, origin, onAccepted)
 }
 
 // SubmitWorkflow validates and starts a stage-DAG workflow: each

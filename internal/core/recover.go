@@ -121,6 +121,11 @@ func (l *Lattice) replay(st *wal.State) error {
 			return err
 		}
 	}
+	// The remaining inputs were originally recorded after the engine
+	// had stepped; mark the recorder so re-applying them between
+	// engine runs (possibly before this engine's first step) re-emits
+	// them without the Pre flag, exactly as the live run did.
+	l.rec.setNotPre(true)
 	prevAt := sim.Time(math.Inf(-1))
 	for ; i < len(inputs); i++ {
 		r := inputs[i]
@@ -132,6 +137,7 @@ func (l *Lattice) replay(st *wal.State) error {
 		}
 		prevAt = r.At
 	}
+	l.rec.setNotPre(false)
 	l.Engine.RunUntil(st.Watermark)
 	return nil
 }
@@ -158,10 +164,15 @@ func (l *Lattice) applyInput(r wal.Record) error {
 			return fmt.Errorf("core: submission record %d has no payload", r.Seq)
 		}
 		var err error
-		switch r.Origin {
-		case "core":
+		switch {
+		case r.Queued:
+			// The record marks an ingest enqueue; re-enqueueing it
+			// re-emits the same durable record and re-execution
+			// regenerates the drain-time scheduling.
+			err = l.Service.EnqueueBatchOrigin(*r.Sub, r.Origin, nil)
+		case r.Origin == "core":
 			_, err = l.SubmitSubmission(*r.Sub)
-		case "portal":
+		case r.Origin == "portal":
 			_, err = l.Portal.Resubmit(*r.Sub)
 		default:
 			_, err = l.Service.SubmitBatchOrigin(*r.Sub, r.Origin)

@@ -320,3 +320,59 @@ func TestStatusShape(t *testing.T) {
 		t.Fatalf("Runs() = %v", got)
 	}
 }
+
+// TestStageSeedPinned is the cross-version regression pin: these
+// exact values are what replicate batches and retries were seeded
+// with in recorded WALs, so any change to the derivation breaks
+// recovery of existing durable state and must show up here.
+func TestStageSeedPinned(t *testing.T) {
+	cases := []struct {
+		seed    int64
+		stage   string
+		attempt int
+		want    int64
+	}{
+		{42, "search", 1, 97112148977670534},
+		{1, "model-selection", 1, 754338909153817640},
+		{7, "bootstrap", 3, 520333105887542680},
+		{0, "", 0, 3103065343055858283},
+	}
+	for _, c := range cases {
+		if got := StageSeed(c.seed, c.stage, c.attempt); got != c.want {
+			t.Errorf("StageSeed(%d, %q, %d) = %d, want %d", c.seed, c.stage, c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestStageSeedDistribution sweeps 10^4 (stage, attempt) pairs under
+// one workflow seed: no two may collide (a collision would hand two
+// stages the same RNG stream), none may be negative, and the low bits
+// must spread evenly enough that downstream modulo use is safe.
+func TestStageSeedDistribution(t *testing.T) {
+	const stages, attempts = 100, 100
+	seen := make(map[int64]string, stages*attempts)
+	var buckets [16]int
+	for s := 0; s < stages; s++ {
+		id := fmt.Sprintf("stage-%03d", s)
+		for a := 1; a <= attempts; a++ {
+			v := StageSeed(9, id, a)
+			if v < 0 {
+				t.Fatalf("StageSeed(9, %q, %d) = %d, want non-negative", id, a, v)
+			}
+			key := fmt.Sprintf("%s/%d", id, a)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, v)
+			}
+			seen[v] = key
+			buckets[v%16]++
+		}
+	}
+	// With 10^4 draws over 16 buckets the expected count is 625; a
+	// healthy hash stays within ±25% comfortably.
+	for b, n := range buckets {
+		if n < 469 || n > 781 {
+			t.Errorf("bucket %d holds %d of %d seeds, want ~%d (low-bit bias)",
+				b, n, stages*attempts, stages*attempts/16)
+		}
+	}
+}

@@ -35,6 +35,10 @@ type Config struct {
 	// failed and its downstream subtree skipped. Negative disables
 	// retries; 0 selects the default of 1.
 	StageRetries int
+	// IDPrefix qualifies run IDs ("shard0-wf-000001") so a cluster
+	// front router can attribute a workflow to its coordinator shard.
+	// Empty for single-coordinator deployments.
+	IDPrefix string
 }
 
 // StageState is a workflow stage's lifecycle state.
@@ -166,7 +170,7 @@ func (e *Engine) Submit(wf workload.Workflow) (*Run, error) {
 	}
 	e.nextID++
 	r := &Run{
-		ID:          fmt.Sprintf("wf-%06d", e.nextID),
+		ID:          fmt.Sprintf("%swf-%06d", e.cfg.IDPrefix, e.nextID),
 		Workflow:    wf,
 		Order:       order,
 		State:       RunRunning,

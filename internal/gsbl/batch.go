@@ -51,20 +51,40 @@ type Service struct {
 	rng     *sim.RNG
 	batches map[string]*Batch
 	nextID  int
-	obs     *obs.Obs
-	durable Durability
+	// idPrefix qualifies batch IDs ("shard0-batch-000001") so a
+	// cluster front router can attribute an ID to its coordinator
+	// shard; empty for single-coordinator deployments.
+	idPrefix string
+	obs      *obs.Obs
+	durable  Durability
+
+	// Serialized front-door state (see ingest.go).
+	ingest         IngestConfig
+	ingestFree     sim.Time
+	ingestDepth    int
+	ingestErrs     []error
+	ingestInsCache *ingestIns
 }
 
 // Durability is the write-ahead-log hook for submissions entering the
 // coordinator. The submission is recorded after validation and before
 // any scheduling side effect, so a recovered run can re-inject it and
-// regenerate everything downstream.
+// regenerate everything downstream. QueuedSubmission is the same
+// contract for the serialized ingest path: the record marks an
+// *enqueue* — recovery re-enqueues it and re-execution regenerates
+// the drain-time scheduling.
 type Durability interface {
 	Submission(at sim.Time, origin string, sub workload.Submission)
+	QueuedSubmission(at sim.Time, origin string, sub workload.Submission)
 }
 
 // SetDurable installs the durability hook (nil disables it).
 func (s *Service) SetDurable(d Durability) { s.durable = d }
+
+// SetIDPrefix qualifies every subsequently created batch ID with a
+// prefix. Call before the first submission; existing IDs are not
+// rewritten.
+func (s *Service) SetIDPrefix(p string) { s.idPrefix = p }
 
 // SetObs wires the facade to an observability hub: validation becomes
 // a journal event and each batch gets a root trace span covering
@@ -135,7 +155,7 @@ func (s *Service) SubmitBatchDerived(sub workload.Submission, origin string, onD
 func (s *Service) submit(sub workload.Submission, origin, validateDetail string, onDone func(BatchStatus)) (*Batch, error) {
 	s.nextID++
 	b := &Batch{
-		ID:         fmt.Sprintf("batch-%06d", s.nextID),
+		ID:         fmt.Sprintf("%sbatch-%06d", s.idPrefix, s.nextID),
 		Submission: sub,
 		Origin:     origin,
 		CreatedAt:  s.eng.Now(),

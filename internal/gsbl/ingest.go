@@ -1,0 +1,157 @@
+package gsbl
+
+import (
+	"fmt"
+
+	"lattice/internal/obs"
+	"lattice/internal/sim"
+	"lattice/internal/workload"
+)
+
+// IngestConfig models the coordinator's front-door throughput: the
+// paper's submission point is one process that validates, stages and
+// registers every batch serially, so at portal scale the accept path
+// itself becomes the bottleneck long before the federation runs out
+// of CPUs. Each accepted submission occupies the coordinator for
+// PerSubmissionSeconds plus PerReplicateSeconds per replicate of
+// virtual time; submissions arriving while the coordinator is busy
+// queue FIFO. The zero value disables the model entirely — submissions
+// schedule synchronously on arrival, the pre-scale-out behaviour,
+// bit-identical to builds without the ingest path.
+type IngestConfig struct {
+	// PerSubmissionSeconds is the fixed virtual cost of accepting one
+	// submission (validation, staging, batch registration).
+	PerSubmissionSeconds float64
+	// PerReplicateSeconds is the marginal virtual cost per replicate
+	// (input fan-out, per-job registration).
+	PerReplicateSeconds float64
+}
+
+// Enabled reports whether the ingest model is active.
+func (c IngestConfig) Enabled() bool {
+	return c.PerSubmissionSeconds > 0 || c.PerReplicateSeconds > 0
+}
+
+// cost returns the coordinator occupancy of one submission.
+func (c IngestConfig) cost(sub *workload.Submission) sim.Duration {
+	return sim.Duration(c.PerSubmissionSeconds + c.PerReplicateSeconds*float64(sub.Replicates))
+}
+
+// ingestIns caches the ingest instrument handles.
+type ingestIns struct {
+	depth    *obs.Gauge
+	wait     *obs.Histogram
+	accepted *obs.Counter
+}
+
+// SetIngest installs the front-door throughput model. Call before the
+// first submission; changing the model mid-run would break replay
+// determinism.
+func (s *Service) SetIngest(cfg IngestConfig) { s.ingest = cfg }
+
+// IngestDepth reports how many accepted submissions are queued behind
+// the coordinator's front door right now.
+func (s *Service) IngestDepth() int { return s.ingestDepth }
+
+// IngestErrors returns deferred scheduling failures of drained
+// submissions (most recent last); empty means every drained
+// submission expanded cleanly.
+func (s *Service) IngestErrors() []error { return s.ingestErrs }
+
+// EnqueueBatchOrigin is the scale-out accept path: the submission is
+// validated and durably recorded immediately (the enqueue is the
+// input — a crash loses nothing that was accepted), then expanded
+// into grid jobs when the serialized coordinator front door reaches
+// it on the virtual clock. onAccepted, when non-nil, fires at drain
+// time with the created batch or the deferred scheduling error. With
+// the ingest model disabled this is SubmitBatchOrigin plus a
+// synchronous callback.
+func (s *Service) EnqueueBatchOrigin(sub workload.Submission, origin string, onAccepted func(*Batch, error)) error {
+	if !s.ingest.Enabled() {
+		b, err := s.SubmitBatchOrigin(sub, origin)
+		if err != nil {
+			return err
+		}
+		if onAccepted != nil {
+			onAccepted(b, nil)
+		}
+		return nil
+	}
+	if err := s.Validate(&sub); err != nil {
+		return err
+	}
+	if s.durable != nil {
+		// The enqueue is the durable input: recovery re-enqueues it at
+		// this virtual time and deterministic re-execution regenerates
+		// the drain, the batch, and everything downstream.
+		s.durable.QueuedSubmission(s.eng.Now(), origin, sub)
+	}
+	now := s.eng.Now()
+	start := now
+	if s.ingestFree > start {
+		start = s.ingestFree
+	}
+	done := start.Add(s.ingest.cost(&sub))
+	s.ingestFree = done
+	s.ingestDepth++
+	ins := s.ingestInstruments()
+	if ins != nil {
+		ins.depth.Set(float64(s.ingestDepth))
+		ins.accepted.Inc()
+	}
+	s.eng.ScheduleAt(done, func() {
+		s.ingestDepth--
+		if ins != nil {
+			ins.depth.Set(float64(s.ingestDepth))
+			ins.wait.Observe(float64(s.eng.Now().Sub(now)))
+		}
+		b, err := s.submit(sub, origin, ingestDetail(&sub), nil)
+		if err != nil {
+			s.noteIngestErr(err)
+		}
+		if onAccepted != nil {
+			onAccepted(b, err)
+		}
+	})
+	return nil
+}
+
+func ingestDetail(sub *workload.Submission) string {
+	return fmt.Sprintf("%d replicates for %s (ingest-drained)", sub.Replicates, sub.UserEmail)
+}
+
+// ingestInstruments lazily builds the instrument handles once an obs
+// hub is wired; nil (a no-op) before that.
+func (s *Service) ingestInstruments() *ingestIns {
+	if s.ingestInsCache != nil {
+		return s.ingestInsCache
+	}
+	if s.obs == nil {
+		return nil
+	}
+	s.ingestInsCache = &ingestIns{
+		depth: s.obs.Gauge("lattice_gsbl_ingest_depth",
+			"Accepted submissions queued behind the coordinator front door"),
+		wait: s.obs.Histogram("lattice_gsbl_ingest_wait_seconds",
+			"Virtual seconds from submission arrival to coordinator drain", nil),
+		accepted: s.obs.Counter("lattice_gsbl_ingest_accepted_total",
+			"Submissions accepted through the serialized ingest path"),
+	}
+	return s.ingestInsCache
+}
+
+// NoteIngestErr records an asynchronous accept failure on behalf of a
+// caller with no request to fail — the cluster's scheduled arrivals
+// fire inside engine callbacks and report through here.
+func (s *Service) NoteIngestErr(err error) { s.noteIngestErr(err) }
+
+// noteIngestErr records a deferred scheduling failure, keeping the
+// most recent ones (the drain runs inside a simulation callback with
+// no caller to return an error to).
+func (s *Service) noteIngestErr(err error) {
+	const keep = 32
+	if len(s.ingestErrs) >= keep {
+		s.ingestErrs = s.ingestErrs[1:]
+	}
+	s.ingestErrs = append(s.ingestErrs, err)
+}

@@ -25,6 +25,7 @@ comparison with //lint:allow floatcmp.`,
 		"internal/forest",
 		"internal/faults",
 		"internal/dag",
+		"internal/shard",
 	},
 	Run: runFloatCmp,
 }

@@ -91,6 +91,24 @@ func (p *Portal) RestoreUser(token, email string) {
 	}
 }
 
+// WriteJSON serializes v to w with the portal's client-error
+// accounting — exported for the cluster front router's merged
+// endpoints.
+func (p *Portal) WriteJSON(w http.ResponseWriter, v any) { p.writeJSON(w, v) }
+
+// NoteClientErr records a failed response write on behalf of the
+// cluster front router.
+func (p *Portal) NoteClientErr() { p.noteClientErr() }
+
+// LookupToken resolves a registered API token to its email. A cluster
+// front router uses it to find the shard that issued a token.
+func (p *Portal) LookupToken(token string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	email, ok := p.users[token]
+	return email, ok
+}
+
 // Resubmit pushes a submission through the portal's submission path —
 // batch creation plus ownership bookkeeping — without an HTTP
 // request. Recovery uses it to re-inject portal-originated

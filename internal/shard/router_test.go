@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// users builds a deterministic synthetic user population.
+func users(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("user%05d@example.edu", i)
+	}
+	return out
+}
+
+// TestRouteStableForSameN is the routing-stability property: for a
+// fixed shard count the router is a pure function — the same (user,
+// origin) pair lands on the same shard on every call, every run,
+// every process. Pinned values keep the hash construction itself from
+// silently changing.
+func TestRouteStableForSameN(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for _, u := range users(500) {
+			a := Route(u, "core", n)
+			b := Route(u, "core", n)
+			if a != b {
+				t.Fatalf("Route(%q, core, %d) unstable: %d then %d", u, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Route(%q, core, %d) = %d outside [0,%d)", u, n, a, n)
+			}
+		}
+	}
+	// Regression pins: these values may only change with an explicit
+	// routing-epoch decision, since rebalancing every user invalidates
+	// per-shard WAL locality.
+	pins := []struct {
+		user, origin string
+		n, want      int
+	}{
+		{"user00000@example.edu", "core", 8, 0},
+		{"user00001@example.edu", "core", 8, 5},
+		{"smoke@example.edu", "core", 4, 0},
+		{"smoke@example.edu", "portal", 4, 1},
+		{"crash@example.edu", "core", 2, 0},
+	}
+	for _, p := range pins {
+		if got := Route(p.user, p.origin, p.n); got != p.want {
+			t.Errorf("Route(%q, %q, %d) = %d, want pinned %d", p.user, p.origin, p.n, got, p.want)
+		}
+	}
+}
+
+// TestRouteDistribution checks the FNV-1a partition spreads a
+// realistic user population roughly evenly — no shard may be starved
+// or own a large multiple of its fair share.
+func TestRouteDistribution(t *testing.T) {
+	const n, population = 8, 10000
+	counts := make([]int, n)
+	for _, u := range users(population) {
+		counts[Route(u, "core", n)]++
+	}
+	fair := population / n
+	for k, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("shard %d owns %d of %d users; fair share is %d", k, c, population, fair)
+		}
+	}
+}
+
+// TestRouteOriginMatters checks the origin participates in the key:
+// the routing domain is (user, origin), not user alone.
+func TestRouteOriginMatters(t *testing.T) {
+	same := true
+	for _, u := range users(64) {
+		if Key(u, "core") != Key(u, "portal") {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("Key ignores the origin field")
+	}
+}
+
+// TestRebalancePreservesPerUserOrdering is the rebalancing property:
+// walking the shard counts 1→2→4→8, every user maps to exactly one
+// shard at each count, so the per-shard arrival sequence restricted
+// to any single user preserves the global submission order — growing
+// the cluster can interleave users differently but can never reorder
+// one user's submissions.
+func TestRebalancePreservesPerUserOrdering(t *testing.T) {
+	type submission struct {
+		user string
+		seq  int
+	}
+	// A deterministic global submission sequence: users interleaved,
+	// several submissions each.
+	var global []submission
+	pop := users(300)
+	for round := 0; round < 5; round++ {
+		for i, u := range pop {
+			global = append(global, submission{user: u, seq: round*len(pop) + i})
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		// Deliver the global sequence to per-shard queues via the router.
+		queues := make([][]submission, n)
+		owner := make(map[string]int)
+		for _, s := range global {
+			k := Route(s.user, "core", n)
+			if prev, seen := owner[s.user]; seen && prev != k {
+				t.Fatalf("n=%d: user %s routed to shard %d then %d", n, s.user, prev, k)
+			}
+			owner[s.user] = k
+			queues[k] = append(queues[k], s)
+		}
+		// Within each shard queue, each user's seq values must be
+		// strictly increasing — the per-user order survived.
+		for k, q := range queues {
+			lastSeq := make(map[string]int)
+			for _, s := range q {
+				if prev, seen := lastSeq[s.user]; seen && s.seq <= prev {
+					t.Fatalf("n=%d shard %d: user %s order broken (%d after %d)", n, k, s.user, s.seq, prev)
+				}
+				lastSeq[s.user] = s.seq
+			}
+		}
+	}
+}
+
+// TestSeedDerivation checks per-shard seeds are distinct,
+// non-negative, and pinned.
+func TestSeedDerivation(t *testing.T) {
+	seen := make(map[int64]int)
+	for k := 0; k < 64; k++ {
+		s := Seed(42, k)
+		if s < 0 {
+			t.Fatalf("Seed(42, %d) = %d is negative", k, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed(42, %d) collides with shard %d", k, prev)
+		}
+		seen[s] = k
+	}
+	if a, b := Seed(1, 0), Seed(2, 0); a == b {
+		t.Error("Seed ignores the base seed")
+	}
+}
+
+// TestOrigin pins the shard-qualified origin format the WAL and
+// journal record.
+func TestOrigin(t *testing.T) {
+	if got := Origin(3, "core"); got != "shard3/core" {
+		t.Errorf("Origin(3, core) = %q", got)
+	}
+}
