@@ -22,11 +22,15 @@ DAG_BENCH_PATTERN = DagWorkflow
 # shards); see EXPERIMENTS.md "Scale-out".
 SCALE_BENCH_PATTERN = ScaleOut
 
+# The PR10 overload-protection benchmarks (10× demand spike, protected
+# vs unprotected); see EXPERIMENTS.md "Overload".
+OVERLOAD_BENCH_PATTERN = OverloadScenario
+
 # Machine-readable analyzer report: every finding, suppressed ones
 # included and marked, for dashboards and suppression audits.
 LINT_ARTIFACT = latticelint.json
 
-.PHONY: all build vet lint lint-fixtures test race smoke faults crash dag scale check bench bench-smoke bench-json bench-json-engine bench-json-faults bench-json-wal bench-json-dag bench-json-scale
+.PHONY: all build vet lint lint-fixtures test race smoke faults crash dag scale overload check bench bench-smoke bench-json bench-json-engine bench-json-faults bench-json-wal bench-json-dag bench-json-scale bench-json-overload
 
 all: check
 
@@ -106,6 +110,12 @@ bench-json-dag:
 bench-json-scale:
 	$(GO) test -run '^$$' -bench '$(SCALE_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR9.json
 
+# bench-json-overload regenerates the committed overload-protection
+# artifact (goodput ratio, shed counts, p99 front-door wait: protected
+# vs unprotected under the 10× spike).
+bench-json-overload:
+	$(GO) test -run '^$$' -bench '$(OVERLOAD_BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_PR10.json
+
 # faults runs the fault-injection scenario under the race detector:
 # conservation (every job exactly one terminal state) and same-seed
 # determinism under the default hostile schedule.
@@ -136,12 +146,21 @@ dag:
 scale:
 	$(GO) test -race -timeout 30m -run TestScaleOutShape ./internal/experiments/
 
+# overload runs the overload-protection scenario under the race
+# detector: a 10× demand spike through protected 1- and 4-shard
+# clusters (conservation including sheds, bit-identical same-seed twin
+# digests, goodput ≥ 90% of the pre-spike rate, breakers tripping on
+# the mid-spike brownout) against an unprotected baseline whose p99
+# front-door wait blows up by ≥ 10×.
+overload:
+	$(GO) test -race -timeout 10m -run TestOverloadScenarioShape ./internal/experiments/
+
 # check is the full correctness gate: compile, go vet, the project
 # analyzers (failing on any unsuppressed finding), the analyzer
 # fixture self-tests under -race, the test suite under the race
 # detector (which includes the forest/BOINC concurrency stress tests),
-# the fault-injection, crash-recovery, workflow and coordinator
-# sharding scenarios under -race, the grid boot smoke that scrapes
-# /metrics over real HTTP, and one execution of every engine benchmark
-# body so benchmark code cannot rot.
-check: build vet lint lint-fixtures race faults crash dag scale smoke bench-smoke
+# the fault-injection, crash-recovery, workflow, coordinator sharding
+# and overload-protection scenarios under -race, the grid boot smoke
+# that scrapes /metrics over real HTTP, and one execution of every
+# engine benchmark body so benchmark code cannot rot.
+check: build vet lint lint-fixtures race faults crash dag scale overload smoke bench-smoke

@@ -648,6 +648,35 @@ func BenchmarkDagWorkflow(b *testing.B) {
 // front-door wait and peak front-door queue depth per shard count.
 // The sweep is the PR9 artifact (BENCH_PR9.json,
 // `make bench-json-scale`).
+// BenchmarkOverloadScenario prices overload protection: a 10× demand
+// spike pushed through protected 1- and 4-shard clusters (admission
+// control, fair-share shedding, circuit breakers) and the unprotected
+// 1-shard baseline. Reports goodput ratio, shed counts and p99
+// front-door wait per configuration. The sweep is the PR10 artifact
+// (BENCH_PR10.json, `make bench-json-overload`).
+func BenchmarkOverloadScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.OverloadScenario(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			if !p.Conserved || !p.TwinMatch {
+				b.Fatalf("overload point not conserved/twin-matched: %+v", p)
+			}
+		}
+		if i == 0 {
+			b.Logf("\n%s", r)
+			b.ReportMetric(r.Points[0].GoodputRatio, "goodput-1shard")
+			b.ReportMetric(r.Points[1].GoodputRatio, "goodput-4shard")
+			b.ReportMetric(float64(r.Points[0].ShedQuota+r.Points[0].ShedOverload), "sheds-1shard")
+			b.ReportMetric(r.Points[0].P99FrontDoorWaitSeconds, "p99-wait-s")
+			b.ReportMetric(r.Baseline.P99FrontDoorWaitSeconds, "baseline-p99-wait-s")
+			b.ReportMetric(r.P99Blowup, "p99-blowup-x")
+		}
+	}
+}
+
 func BenchmarkScaleOut(b *testing.B) {
 	const users = 100000
 	for _, shards := range []int{1, 2, 4, 8} {

@@ -84,4 +84,7 @@ var registry = []experiment{
 	{"scale", "Scale-out — 10^5 users through 1/2/4/8 coordinator shards, with crash variant",
 		"Sweeps coordinator shard counts under a million-user-scale load: makespan, queue depth, twin digests, shard-local crash recovery.",
 		func(s int64) (fmt.Stringer, error) { return experiments.ScaleOut(s) }},
+	{"overload", "Overload — 10× demand spike with admission control, fair-share shedding and circuit breakers",
+		"Drives a demand spike through protected 1- and 4-shard clusters vs an unprotected baseline: shed accounting, goodput, twin digests, p99 front-door wait.",
+		func(s int64) (fmt.Stringer, error) { return experiments.OverloadScenario(s) }},
 }

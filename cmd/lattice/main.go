@@ -28,9 +28,11 @@ import (
 	"os"
 	"time"
 
+	"lattice/internal/admit"
 	"lattice/internal/core"
 	"lattice/internal/dag"
 	"lattice/internal/faults"
+	"lattice/internal/gsbl"
 	"lattice/internal/obs"
 	"lattice/internal/shard"
 	"lattice/internal/sim"
@@ -57,6 +59,7 @@ func run() error {
 		workflow    = flag.Bool("workflow", false, "submit the four-stage standard-analysis demo workflow at boot; watch it at /workflow/<id>")
 		shards      = flag.Int("shards", 1, "coordinator shard count; above 1 boots a sharded cluster behind a deterministic front router")
 		share       = flag.String("share", "partition", "grid sharing mode under -shards: partition (static split) or lease (rotating leases)")
+		withAdmit   = flag.Bool("admit", false, "enable overload protection: the serialized ingest door with per-user quotas, fair-share shedding (429 + Retry-After at the portal) and per-resource circuit breakers")
 	)
 	flag.Parse()
 
@@ -65,6 +68,14 @@ func run() error {
 	if *withFaults {
 		cfg.Faults = core.DefaultFaultSchedule()
 		cfg.Scheduler.StabilityAlpha = 0.2
+	}
+	if *withAdmit {
+		// Admission control meters the ingest door, so -admit implies
+		// the ingest model.
+		cfg.Ingest = gsbl.IngestConfig{PerSubmissionSeconds: 1.0, PerReplicateSeconds: 0.25}
+		cfg.Admit = admit.DefaultConfig()
+		cfg.Scheduler.BreakerThreshold = 5
+		fmt.Println("overload protection active: admission control at the ingest door, circuit breakers in the scheduler")
 	}
 	if *shards > 1 {
 		return runCluster(cfg, *shards, *share, *durable, *withFaults, *smoke, *addr, *accel)

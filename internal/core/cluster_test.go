@@ -471,3 +471,89 @@ func TestClusterShardCrashRecoversLocally(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterLeaseRotationAcrossCrash pins lease rotation across a
+// shard crash/recover boundary: under ShareLease a shard is killed
+// after at least one rotation, stays down while further rotations
+// elapse, and is rebuilt from its own WAL. Because lease ownership is
+// a pure function of (resource, virtual time) — configuration, not
+// replicated state — the recovered shard must see exactly the
+// ownership an uninterrupted twin sees, and the final per-shard
+// digests must match the twin's bit for bit.
+func TestClusterLeaseRotationAcrossCrash(t *testing.T) {
+	const seed = 26
+	const crashShard = 0
+	term := 2 * sim.Hour
+	crashAt := sim.Time(3 * sim.Hour) // one rotation behind it, more while down
+	shardFaults := func(k int) *faults.Schedule {
+		if k != crashShard {
+			return nil
+		}
+		return &faults.Schedule{CrashAt: []sim.Time{crashAt}}
+	}
+	schedule := func(c *Cluster) {
+		for i := 0; i < 12; i++ {
+			email := fmt.Sprintf("leasecrash%02d@example.edu", i)
+			c.ScheduleSubmission(sim.Time(float64(i)*1700+11), clusterSubmission(email, int64(500+i)))
+		}
+	}
+	base := clusterBase(seed)
+	base.Ingest = gsbl.IngestConfig{PerSubmissionSeconds: 30, PerReplicateSeconds: 5}
+
+	twin, err := NewCluster(ClusterConfig{
+		Shards: 2, Share: shard.ShareLease, LeaseTerm: term,
+		Base: base, ShardFaults: shardFaults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin.Shards[crashShard].Faults.SetCrashStops(false)
+	schedule(twin)
+	runClusterToDone(t, twin, sim.Time(10*sim.Day))
+
+	c, err := NewCluster(ClusterConfig{
+		Shards: 2, Share: shard.ShareLease, LeaseTerm: term,
+		Base: base, ShardFaults: shardFaults,
+		DurableRoot: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule(c)
+	for len(c.CrashedShards()) == 0 {
+		c.RunUntil(c.Shards[1-crashShard].Engine.Now().Add(sim.Hour))
+	}
+	// Let further rotations pass while the shard is down: the survivor
+	// runs on alone, so by recovery time the leases the crashed shard
+	// held have rotated away and back.
+	c.RunUntil(c.Shards[1-crashShard].Engine.Now().Add(2 * term))
+	if _, err := c.RecoverShard(crashShard); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered shard's gates agree with the schedule right now:
+	// resource i is visible iff this shard owns its lease.
+	leases := shard.Leases{Shards: 2, Term: term}
+	rec := c.Shards[crashShard]
+	now := rec.Engine.Now()
+	for i, name := range rec.ResourceNames() {
+		r, ok := rec.Resource(name)
+		if !ok {
+			t.Fatalf("recovered shard lost resource %s", name)
+		}
+		wantHeld := leases.Owner(i, now) == crashShard
+		if gotHeld := r.Info().TotalCPUs > 0; gotHeld != wantHeld {
+			t.Errorf("recovered shard: resource %s held=%v at t=%v, schedule says %v", name, gotHeld, now, wantHeld)
+		}
+	}
+
+	runClusterToDone(t, c, sim.Time(10*sim.Day))
+	checkConservation(t, c)
+	want := twin.ShardDigests()
+	got := c.ShardDigests()
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("shard %d digest %s != uninterrupted lease twin %s", k, got[k], want[k])
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"lattice/internal/admit"
 	"lattice/internal/boinc"
 	"lattice/internal/dag"
 	"lattice/internal/estimate"
@@ -73,6 +74,13 @@ type Config struct {
 	// gsbl.IngestConfig). Zero keeps the synchronous accept path —
 	// bit-identical to pre-scale-out builds.
 	Ingest gsbl.IngestConfig
+	// Admit, when enabled, layers admission control over the ingest
+	// queue: per-user token-bucket quotas, weighted fair-share ordering
+	// instead of FIFO, and bounded-queue load shedding with computed
+	// retry-after hints (see admit.Config). Requires Ingest to be
+	// enabled. The zero value keeps the plain FIFO ingest path —
+	// bit-identical to pre-admission builds.
+	Admit admit.Config
 	// IDPrefix qualifies batch and workflow IDs ("shard0-batch-000001")
 	// so a cluster front router can attribute an ID to its coordinator
 	// shard. Empty for single-coordinator deployments.
@@ -297,6 +305,11 @@ func build(cfg Config, rebuild bool) (*Lattice, error) {
 	l.Service.SetObs(l.Obs)
 	l.Service.SetIDPrefix(cfg.IDPrefix)
 	l.Service.SetIngest(cfg.Ingest)
+	if cfg.Admit.Enabled() {
+		if err := l.Service.SetAdmit(cfg.Admit); err != nil {
+			return nil, err
+		}
+	}
 	l.Workflows = dag.NewEngine(eng, l.Service, l.Obs, dag.Config{IDPrefix: cfg.IDPrefix})
 	l.Portal = portal.New(eng, l.Service)
 	l.Portal.SetObs(l.Obs)

@@ -85,6 +85,46 @@ func TestSubmissionFlowsThroughTheGrid(t *testing.T) {
 	}
 }
 
+// TestSmokeDigestUnchangedByAdmitWiring pins the zero-cost-when-
+// disabled guarantee of the admission layer: with Config.Admit left at
+// its zero value, the exact CI smoke workload (cmd/lattice -smoke:
+// DefaultConfig(1), generator seed 7, 10 replicates) produces the same
+// journal digest it did before admission control existed. Any
+// accidental behaviour change on the plain ingest path — an extra
+// journal event, a reordered callback, a perturbed clock — shows up
+// here as a digest break.
+func TestSmokeDigestUnchangedByAdmitWiring(t *testing.T) {
+	const want = "f85eb603dc66"
+	l, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := workload.NewGenerator(7).Submission()
+	sub.Replicates = 10
+	sub.UserEmail = "smoke@example.edu"
+	b, err := l.SubmitSubmission(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		l.Portal.Pump(6 * sim.Hour)
+		if st, err := l.Service.Status(b.ID); err == nil && st.Done {
+			break
+		}
+	}
+	st, err := l.Service.Status(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Fatalf("smoke batch not done: %+v", st)
+	}
+	digest := l.Obs.Journal.Digest()
+	if len(digest) < len(want) || digest[:len(want)] != want {
+		t.Fatalf("smoke journal digest %.12s…, want %s… — the disabled admit path is not bit-identical to the pre-admission build", digest, want)
+	}
+}
+
 func TestContinuousRetrainingFork(t *testing.T) {
 	l, err := New(smallConfig(3))
 	if err != nil {

@@ -165,6 +165,12 @@ func (l *Lattice) applyInput(r wal.Record) error {
 		}
 		var err error
 		switch {
+		case r.Queued && r.Origin == "portal":
+			// Portal-queued submissions replay through the portal so
+			// batch ownership is restored when the drain accepts them;
+			// admission rejections re-shed deterministically and are not
+			// replay errors.
+			_, _, err = l.Portal.EnqueueOwned(*r.Sub)
 		case r.Queued:
 			// The record marks an ingest enqueue; re-enqueueing it
 			// re-emits the same durable record and re-execution

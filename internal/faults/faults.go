@@ -55,6 +55,18 @@ const (
 	// mid-simulation; with durability enabled the run resumes via
 	// core.Recover, without it everything since genesis is lost.
 	KindCrash Kind = "crash"
+	// KindDemandSpike is the workload-side fault: the grid is healthy
+	// but the users stampede. Event.Resource names a demand hook
+	// (AttachDemand) rather than a wrapped resource; at the window
+	// start the hook is called with Factor (arrival rate multiplier),
+	// at the end with 1. The spike journals whether or not a hook is
+	// attached, so workload generators can attach after Apply.
+	KindDemandSpike Kind = "demand-spike"
+	// KindCapacityCollapse is a brownout rather than a blackout: for
+	// the window the resource's published CPU capacity is scaled by
+	// Factor (in (0,1)) and its gatekeeper refuses submissions beyond
+	// the collapsed capacity. In-flight work keeps running.
+	KindCapacityCollapse Kind = "capacity-collapse"
 )
 
 // Event is one scripted fault. At is when it begins; window faults
@@ -73,6 +85,9 @@ type Event struct {
 	Delay sim.Duration
 	// Hosts is the burst size for churn events.
 	Hosts int
+	// Factor scales demand-spike arrival rates (> 1) and
+	// capacity-collapse published capacity (in (0,1)).
+	Factor float64
 }
 
 // Flap generates a probabilistic outage process on one resource:
@@ -131,6 +146,20 @@ func (s *Schedule) Validate() error {
 		case KindChurn:
 			if ev.Hosts <= 0 {
 				return fmt.Errorf("faults: event %d (churn on %s) needs a positive host count", i, ev.Resource)
+			}
+		case KindDemandSpike:
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (demand-spike on %s) needs a positive Duration", i, ev.Resource)
+			}
+			if ev.Factor <= 1 {
+				return fmt.Errorf("faults: event %d (demand-spike on %s) needs Factor > 1, got %g", i, ev.Resource, ev.Factor)
+			}
+		case KindCapacityCollapse:
+			if ev.Duration <= 0 {
+				return fmt.Errorf("faults: event %d (capacity-collapse on %s) needs a positive Duration", i, ev.Resource)
+			}
+			if ev.Factor <= 0 || ev.Factor >= 1 {
+				return fmt.Errorf("faults: event %d (capacity-collapse on %s) needs Factor in (0,1), got %g", i, ev.Resource, ev.Factor)
 			}
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %q", i, ev.Kind)

@@ -25,6 +25,7 @@ type Injector struct {
 	obs      *obs.Obs
 	targets  map[string]*target
 	churners map[string]Churner
+	demands  map[string]func(factor float64)
 	stats    map[Kind]int
 	// crashStops controls whether an armed crash actually stops the
 	// engine. Recovery re-execution disables it: the crash must still
@@ -44,6 +45,7 @@ func NewInjector(eng *sim.Engine, rng *sim.RNG) *Injector {
 		rng:        rng,
 		targets:    make(map[string]*target),
 		churners:   make(map[string]Churner),
+		demands:    make(map[string]func(factor float64)),
 		stats:      make(map[Kind]int),
 		crashStops: true,
 	}
@@ -94,6 +96,15 @@ func (in *Injector) AttachChurner(name string, c Churner) {
 	in.churners[name] = c
 }
 
+// AttachDemand registers the hook a demand-spike event drives: fn is
+// called with the event's Factor at the window start and with 1 at the
+// end. Unlike churners, demand hooks live on the workload side (the
+// arrival process), so they may attach after Apply; a spike with no
+// hook still journals.
+func (in *Injector) AttachDemand(name string, fn func(factor float64)) {
+	in.demands[name] = fn
+}
+
 // Down reports whether the named resource is currently in an outage.
 func (in *Injector) Down(name string) bool {
 	t, ok := in.targets[name]
@@ -121,6 +132,11 @@ func (in *Injector) Apply(sch Schedule) error {
 			if _, ok := in.churners[ev.Resource]; !ok {
 				return fmt.Errorf("faults: event %d targets %s, which has no churn hook", i, ev.Resource)
 			}
+			continue
+		}
+		if ev.Kind == KindDemandSpike {
+			// Demand hooks attach on the workload side, possibly after
+			// Apply; nothing to validate here.
 			continue
 		}
 		if _, ok := in.targets[ev.Resource]; !ok {
@@ -170,6 +186,21 @@ func (in *Injector) arm(ev Event) {
 		t := in.targets[ev.Resource]
 		in.eng.ScheduleAt(ev.At, t.beginOutage)
 		in.eng.ScheduleAt(ev.At.Add(ev.Duration), t.endOutage)
+		return
+	case KindDemandSpike:
+		in.eng.ScheduleAt(ev.At, func() {
+			in.note(KindDemandSpike, ev.Resource,
+				fmt.Sprintf("arrival rate ×%g for %.0fs", ev.Factor, float64(ev.Duration)))
+			if fn := in.demands[ev.Resource]; fn != nil {
+				fn(ev.Factor)
+			}
+		})
+		in.eng.ScheduleAt(ev.At.Add(ev.Duration), func() {
+			in.mark(KindDemandSpike, ev.Resource, "demand restored")
+			if fn := in.demands[ev.Resource]; fn != nil {
+				fn(1)
+			}
+		})
 		return
 	}
 	t := in.targets[ev.Resource]
@@ -221,6 +252,16 @@ func (in *Injector) arm(ev Event) {
 			t.lostP = 0
 			in.mark(KindLostResult, t.name, "window closed")
 		})
+	case KindCapacityCollapse:
+		in.eng.ScheduleAt(ev.At, func() {
+			t.capFactor = ev.Factor
+			in.note(KindCapacityCollapse, t.name,
+				fmt.Sprintf("capacity ×%g for %.0fs", ev.Factor, float64(ev.Duration)))
+		})
+		in.eng.ScheduleAt(end, func() {
+			t.capFactor = 0
+			in.mark(KindCapacityCollapse, t.name, "capacity restored")
+		})
 	}
 }
 
@@ -265,6 +306,7 @@ type target struct {
 	name  string
 
 	down        bool
+	capFactor   float64 // capacity-collapse scale, 0 when inactive
 	submitFailP float64
 	lostP       float64
 	slowP       float64
@@ -302,6 +344,16 @@ func (t *target) Submit(j *lrm.Job) error {
 	if t.submitFailP > 0 && t.submitRNG.Bool(t.submitFailP) {
 		t.in.note(KindSubmitFail, t.name, "submit refused by gatekeeper")
 		return fmt.Errorf("faults: %s gatekeeper refused the submission", t.name)
+	}
+	if t.capFactor > 0 {
+		capacity := int(t.capFactor * float64(t.inner.Info().TotalCPUs))
+		if capacity < 1 {
+			capacity = 1
+		}
+		if len(t.inflight) >= capacity {
+			t.in.note(KindCapacityCollapse, t.name, "submit refused: capacity collapsed")
+			return fmt.Errorf("faults: %s capacity collapsed", t.name)
+		}
 	}
 	origComplete := j.OnComplete
 	origFail := j.OnFail
@@ -397,5 +449,16 @@ func (k *sink) Publish(info lrm.Info) {
 	}
 	t.lastInfo = info
 	t.haveLast = true
+	if t.capFactor > 0 {
+		// Brownout: the resource advertises its collapsed capacity, so
+		// the scheduler's backlog cap and ranking throttle it.
+		info.TotalCPUs = int(t.capFactor * float64(info.TotalCPUs))
+		if info.TotalCPUs < 1 {
+			info.TotalCPUs = 1
+		}
+		if info.FreeCPUs > info.TotalCPUs {
+			info.FreeCPUs = info.TotalCPUs
+		}
+	}
 	k.dst.Publish(info)
 }

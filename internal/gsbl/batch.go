@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lattice/internal/admit"
 	"lattice/internal/metasched"
 	"lattice/internal/obs"
 	"lattice/internal/sim"
@@ -64,6 +65,14 @@ type Service struct {
 	ingestDepth    int
 	ingestErrs     []error
 	ingestInsCache *ingestIns
+
+	// Admission-control state (see admitpath.go). admit nil means the
+	// overload-protection layer is off and the ingest queue is FIFO.
+	admit          *admit.Controller
+	admitServing   bool
+	admitBusyUntil sim.Time
+	shedQuota      int
+	shedOverload   int
 }
 
 // Durability is the write-ahead-log hook for submissions entering the

@@ -83,8 +83,14 @@ func (s *Service) EnqueueBatchOrigin(sub workload.Submission, origin string, onA
 	if s.durable != nil {
 		// The enqueue is the durable input: recovery re-enqueues it at
 		// this virtual time and deterministic re-execution regenerates
-		// the drain, the batch, and everything downstream.
+		// the drain, the batch, and everything downstream. Recorded
+		// before the admission decision so a shed submission replays
+		// and deterministically re-sheds.
 		s.durable.QueuedSubmission(s.eng.Now(), origin, sub)
+	}
+	if s.admit != nil {
+		s.admitEnqueue(sub, origin, onAccepted)
+		return nil
 	}
 	now := s.eng.Now()
 	start := now
@@ -154,4 +160,11 @@ func (s *Service) noteIngestErr(err error) {
 		s.ingestErrs = s.ingestErrs[1:]
 	}
 	s.ingestErrs = append(s.ingestErrs, err)
+	// The drain runs with no caller to return an error to: surface the
+	// failure as a batch-level journal event (empty batch/job — the
+	// batch was never created) and a counter, so operators see it
+	// without polling IngestErrors.
+	s.obs.Record("", "", obs.StageFail, "ingest", "deferred expansion failed: "+err.Error())
+	s.obs.Counter("lattice_ingest_errors_total",
+		"Deferred submission expansion failures at the ingest drain").Inc()
 }

@@ -26,6 +26,7 @@ comparison with //lint:allow floatcmp.`,
 		"internal/faults",
 		"internal/dag",
 		"internal/shard",
+		"internal/admit",
 	},
 	Run: runFloatCmp,
 }

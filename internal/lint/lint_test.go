@@ -241,21 +241,26 @@ func TestAnalyzerScope(t *testing.T) {
 		{Determinism, "lattice/internal/wal", true},
 		{Determinism, "lattice/internal/shard", true},
 		{Determinism, "lattice/internal/portal", true},
+		{Determinism, "lattice/internal/admit", true},
 		{Determinism, "lattice/cmd/latticelint", true},
 		{Determinism, "lattice/examples/portalrun", false},
 		{LockOrder, "lattice/internal/boinc", true},
 		{LockOrder, "lattice/internal/shard", true},
+		{LockOrder, "lattice/internal/admit", true},
 		{LockOrder, "lattice/examples/portalrun", false},
 		{GoroLeak, "lattice/examples/portalrun", true},
 		{GoroLeak, "lattice/internal/shard", true},
+		{GoroLeak, "lattice/internal/admit", true},
 		{TaintDet, "lattice/cmd/lattice", true},
 		{TaintDet, "lattice/internal/shard", true},
 		{TaintDet, "lattice/internal/obs", true},
+		{TaintDet, "lattice/internal/admit", true},
 		{FloatCmp, "lattice/internal/phylo", true},
 		{FloatCmp, "lattice/internal/estimate", true},
 		{FloatCmp, "lattice/internal/forest", true},
 		{FloatCmp, "lattice/internal/faults", true},
 		{FloatCmp, "lattice/internal/shard", true},
+		{FloatCmp, "lattice/internal/admit", true},
 		{FloatCmp, "lattice/internal/gsbl", false},
 		{ErrDrop, "lattice/internal/portal", true},
 		{ErrDrop, "lattice/examples/portalrun", true},

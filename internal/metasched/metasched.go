@@ -125,6 +125,19 @@ type Config struct {
 	// static Info.Stable flag says otherwise. Only meaningful with
 	// StabilityAlpha > 0.
 	StabilityFloor float64
+	// BreakerThreshold enables per-resource circuit breakers: this
+	// many consecutive failures (gatekeeper submit refusals,
+	// resource-level job failures, death requeues) with no
+	// intervening success trips the resource's circuit open — it
+	// stops receiving work for BreakerCooldown, then admits a single
+	// half-open probe whose outcome closes or re-opens the circuit.
+	// Layered on the stability EWMA: the EWMA softly deprioritizes a
+	// degrading resource, the breaker hard-stops a flapping one from
+	// eating retry budget. 0 disables breakers entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped circuit stays open before
+	// the half-open probe (default 10 virtual minutes).
+	BreakerCooldown sim.Duration
 }
 
 // DefaultConfig mirrors the paper's operating point.
@@ -215,6 +228,7 @@ type Stats struct {
 	UnplaceableAt int // scheduling passes that left jobs pending
 	Requeued      int // in-flight jobs requeued after resource death
 	SubmitRetries int // gatekeeper submit failures sent to backoff
+	BreakerTrips  int // circuit breakers tripped open
 }
 
 // resource is a registered target.
@@ -233,6 +247,12 @@ type resource struct {
 	// observed per-job outcomes (1 = never seen to fail). It only
 	// moves, and only matters, when Config.StabilityAlpha > 0.
 	stability float64
+	// Circuit-breaker state (see breaker.go); inert unless
+	// Config.BreakerThreshold > 0.
+	breakerFails int      // consecutive failures while closed
+	breakerOpen  bool     // circuit tripped
+	breakerUntil sim.Time // end of the open cooldown
+	breakerProbe bool     // half-open probe in flight
 }
 
 // Scheduler is the grid-level scheduler.

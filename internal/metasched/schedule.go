@@ -182,6 +182,11 @@ func (s *Scheduler) eligible(j *GridJob, c candidate) bool {
 	if c.info.TotalCPUs > 0 && float64(c.res.active) >= factor*float64(c.info.TotalCPUs) {
 		return false
 	}
+	// Circuit breaker: a tripped resource receives no work until the
+	// cooldown elapses, then exactly one half-open probe.
+	if !s.breakerAllows(c.res) {
+		return false
+	}
 	// Service-grid restriction: short workflow stages never go to the
 	// volunteer pool, whose turnaround latency (deadline slack, host
 	// churn) would dwarf their compute.
@@ -314,6 +319,7 @@ func (s *Scheduler) dispatch(j *GridJob, c *candidate) {
 			}
 		}
 	}
+	s.noteBreakerDispatch(c.info.Name, c.res)
 	j.Status = StatusRunning
 	j.Resource = c.info.Name
 	j.StartedAt = s.eng.Now()
@@ -385,6 +391,7 @@ func (s *Scheduler) submitFailed(j *GridJob, name string, err error) {
 	j.Status = StatusPending
 	j.Resource = ""
 	s.markDisrupted(j)
+	s.observeBreaker(name, false)
 	if s.cfg.SubmitRetryBase <= 0 {
 		// Legacy path: try elsewhere on next scan.
 		s.pending = append(s.pending, j)
@@ -461,6 +468,7 @@ func (s *Scheduler) requeueFrom(resource string) {
 		s.pending = append(s.pending, j)
 	}
 	s.observeStability(resource, false)
+	s.observeBreaker(resource, false)
 	s.ins.pending.Set(float64(len(s.pending)))
 }
 
@@ -479,6 +487,7 @@ func (s *Scheduler) onJobComplete(j *GridJob, attempt int) {
 	}
 	s.release(j)
 	s.observeStability(j.Resource, true)
+	s.observeBreaker(j.Resource, true)
 	if j.disrupted {
 		s.obs.Histogram("lattice_sched_fault_recovery_seconds",
 			"Virtual seconds from a job's first fault-induced disruption to its completion", nil).
@@ -503,6 +512,7 @@ func (s *Scheduler) onJobFail(j *GridJob, resourceName, reason string, attempt i
 	s.stats.Retries++
 	s.ins.retries.Inc()
 	s.observeStability(resourceName, false)
+	s.observeBreaker(resourceName, false)
 	if strings.HasPrefix(reason, "faults:") {
 		s.markDisrupted(j)
 	}

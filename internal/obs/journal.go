@@ -57,7 +57,32 @@ const (
 	StageWfFail      Stage = "wf-fail"
 )
 
-// Terminal reports whether the stage ends a job's lifecycle.
+// Above-job-level robustness stages, recorded by the admission layer
+// and the meta-scheduler.
+const (
+	// StageShed records a submission rejected by the admission layer
+	// (per-user quota or load shed) before any batch or grid job
+	// existed. It is journaled with empty Batch and Job fields and the
+	// shed reason plus computed retry-after in Detail. At the
+	// *submission* level it is terminal: with admission control on,
+	// every submission ends in exactly one of completed, failed, or
+	// shed (the first two accounted through its batch's jobs, the
+	// last here). Job-level TerminalCounts is unaffected because a
+	// shed submission never expanded into jobs.
+	StageShed Stage = "wf-shed"
+	// StageBreaker records a per-resource circuit-breaker transition
+	// (open, half-open probe, reopened, closed) in the meta-scheduler,
+	// with the resource name in the Resource field and no batch or
+	// job.
+	StageBreaker Stage = "breaker"
+)
+
+// Terminal reports whether the stage ends a job's lifecycle. StageShed
+// is deliberately excluded: it is terminal for a *submission*, not a
+// job — the job-conservation invariant (every submitted job reaches
+// exactly one of complete|fail) only covers work that entered the
+// grid, while shed submissions are accounted by the submission-level
+// invariant submissions == batches + sheds.
 func (s Stage) Terminal() bool { return s == StageComplete || s == StageFail }
 
 // Event is one journal entry. At is virtual time.

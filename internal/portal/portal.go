@@ -3,8 +3,10 @@ package portal
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"lattice/internal/admit"
 	"lattice/internal/dag"
 	"lattice/internal/gsbl"
 	"lattice/internal/obs"
@@ -122,6 +125,40 @@ func (p *Portal) Resubmit(sub workload.Submission) (*gsbl.Batch, error) {
 	}
 	p.owners[batch.ID] = sub.UserEmail
 	return batch, nil
+}
+
+// EnqueueOwned pushes a submission through the service's admission and
+// ingest front door with portal ownership bookkeeping. The acceptance
+// callback fires either synchronously (immediate quota refusal or
+// arriving-entry shed) or later at ingest drain time; drains run inside
+// Pump, which holds the portal mutex, so the callback writes the
+// ownership map directly instead of locking. The return value reflects
+// what is known when the enqueue returns: the batch when acceptance was
+// synchronous, the admission rejection when the submission was shed on
+// arrival, or (nil, nil, nil) when it was queued behind the door.
+func (p *Portal) EnqueueOwned(sub workload.Submission) (*gsbl.Batch, *admit.Rejection, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var (
+		batch *gsbl.Batch
+		rej   *admit.Rejection
+	)
+	email := sub.UserEmail
+	err := p.svc.EnqueueBatchOrigin(sub, "portal", func(b *gsbl.Batch, err error) {
+		if b != nil {
+			p.owners[b.ID] = email
+			batch = b
+			return
+		}
+		var r *admit.Rejection
+		if errors.As(err, &r) {
+			rej = r
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return batch, rej, nil
 }
 
 // ClientWriteErrors reports how many response writes failed because
@@ -338,6 +375,39 @@ func (p *Portal) createJob(w http.ResponseWriter, r *http.Request) {
 		Replicates: replicates,
 		Bootstrap:  bootstrap,
 		UserEmail:  email,
+	}
+	if p.svc.AdmitActive() {
+		// The admission controller fronts the door: a refusal becomes
+		// HTTP 429 with the controller's deterministic Retry-After hint,
+		// and an admitted submission may still be queued (202) rather
+		// than expanded before the response is written.
+		batch, rej, err := p.EnqueueOwned(sub)
+		if err != nil {
+			http.Error(w, "validation failed: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if rej != nil {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(rej.RetryAfter.Seconds()))))
+			http.Error(w, rej.Error(), http.StatusTooManyRequests)
+			return
+		}
+		if batch == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			if err := json.NewEncoder(w).Encode(map[string]any{
+				"status":     "queued",
+				"replicates": replicates,
+			}); err != nil {
+				p.noteClientErr()
+			}
+			return
+		}
+		p.writeJSON(w, map[string]any{
+			"batch":      batch.ID,
+			"jobs":       len(batch.Jobs),
+			"replicates": replicates,
+		})
+		return
 	}
 	batch, err := p.Resubmit(sub)
 	if err != nil {

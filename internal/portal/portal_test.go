@@ -17,6 +17,7 @@ import (
 
 	"lattice/internal/wal"
 
+	"lattice/internal/admit"
 	"lattice/internal/grid/mds"
 	"lattice/internal/gsbl"
 	"lattice/internal/lrm"
@@ -455,5 +456,110 @@ func TestArtifactCacheAtomic(t *testing.T) {
 		if strings.Contains(e.Name(), ".tmp-") {
 			t.Errorf("temp file %s littered after interrupted copy", e.Name())
 		}
+	}
+}
+
+// admitFixture builds a portal over a grid with the ingest model and
+// admission controller in front of the door.
+func admitFixture(t *testing.T, acfg admit.Config) (*Portal, *httptest.Server) {
+	t.Helper()
+	eng := sim.NewEngine()
+	idx, err := mds.NewIndex(eng, 5*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpc, err := pbs.New(eng, pbs.Config{
+		Name: "hpc", Platform: lrm.LinuxX86,
+		Nodes: []pbs.NodeClass{{Count: 32, Speed: 2, MemoryMB: 8192}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mds.StartProvider(eng, idx, hpc, sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	sched := metasched.New(eng, idx, metasched.DefaultConfig())
+	if err := sched.Register(hpc, 2); err != nil {
+		t.Fatal(err)
+	}
+	svc := gsbl.NewService(eng, sched, &gsbl.Mailer{}, sim.NewRNG(1))
+	svc.SetIngest(gsbl.IngestConfig{PerSubmissionSeconds: 1, PerReplicateSeconds: 0.25})
+	if err := svc.SetAdmit(acfg); err != nil {
+		t.Fatal(err)
+	}
+	p := New(eng, svc)
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+// TestCreateJobAdmission walks the admission-aware submission path: an
+// admitted submission is acknowledged 202 (queued behind the door) and
+// gains ownership when the drain accepts it; a quota-exhausted repeat
+// is answered 429 with the controller's Retry-After hint.
+func TestCreateJobAdmission(t *testing.T) {
+	p, ts := admitFixture(t, admit.Config{UserRatePerHour: 3600, UserBurst: 10})
+	fields := map[string]string{
+		"email":        "stampede@example.org",
+		"datatype":     "nucleotide",
+		"ratematrix":   "HKY85",
+		"ratehetmodel": "gamma",
+		"replicates":   "8",
+	}
+	fasta := testFASTA(t)
+
+	ctype, body := multipartForm(t, fields, fasta)
+	resp, err := http.Post(ts.URL+"/garli/create", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admitted submission returned %d: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "queued") {
+		t.Fatalf("202 body %s does not say queued", raw)
+	}
+
+	// Second 8-replicate submission at the same virtual instant: 2
+	// tokens left in the bucket, refill 1/s, so retry after 6s.
+	ctype, body = multipartForm(t, fields, fasta)
+	resp, err = http.Post(ts.URL+"/garli/create", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota-exhausted submission returned %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "6" {
+		t.Fatalf("Retry-After = %q, want 6", got)
+	}
+	if !strings.Contains(string(raw), "quota") {
+		t.Fatalf("429 body %s does not name the quota", raw)
+	}
+
+	// Draining the door registers ownership for the accepted batch.
+	p.Pump(sim.Hour)
+	p.mu.Lock()
+	var owned []string
+	for id, owner := range p.owners {
+		if owner == "stampede@example.org" {
+			owned = append(owned, id)
+		}
+	}
+	p.mu.Unlock()
+	if len(owned) != 1 {
+		t.Fatalf("owned batches after drain = %v, want exactly one", owned)
+	}
+	resp, err = http.Get(ts.URL + "/batch/" + owned[0] + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status for drained submission returned %d", resp.StatusCode)
 	}
 }

@@ -37,6 +37,130 @@ func TestLeaseOwnerSchedule(t *testing.T) {
 	}
 }
 
+// TestLeaseSingleShard pins the degenerate schedule: with one shard
+// there is nobody to rotate to, so every resource is owned by shard 0
+// at every instant — a 1-shard lease deployment must behave exactly
+// like an unshared grid.
+func TestLeaseSingleShard(t *testing.T) {
+	l := Leases{Shards: 1, Term: sim.Hour}
+	for _, now := range []sim.Time{0, sim.Time(30 * sim.Minute), sim.Time(sim.Hour), sim.Time(1e6 * sim.Hour)} {
+		for i := 0; i < 5; i++ {
+			if got := l.Owner(i, now); got != 0 {
+				t.Errorf("Owner(%d, %v) = %d, want 0", i, now, got)
+			}
+		}
+	}
+	// The gate over a single-shard schedule never closes.
+	eng := sim.NewEngine()
+	inner := &fakeLRM{}
+	g := NewGate(inner, eng.Now, func(now sim.Time) bool { return l.Owner(0, now) == 0 })
+	eng.ScheduleAt(sim.Time(10*sim.Hour), func() {})
+	eng.RunUntil(sim.Time(7 * sim.Hour))
+	if info := g.Info(); info.TotalCPUs != 32 {
+		t.Fatalf("single-shard gate hid capacity after rotation periods: %+v", info)
+	}
+	if err := g.Submit(&lrm.Job{ID: "j", Work: 1}); err != nil {
+		t.Fatalf("single-shard gate refused a submission: %v", err)
+	}
+}
+
+// TestLeaseFewerResourcesThanShards covers the zero-shared-resources
+// edge: with fewer resources than shards, at any instant some shards
+// hold no lease at all — they must simply see an empty grid, while the
+// rotation still guarantees every shard eventually fronts every
+// resource (no shard is starved forever).
+func TestLeaseFewerResourcesThanShards(t *testing.T) {
+	const shards, resources = 4, 2
+	l := Leases{Shards: shards, Term: sim.Hour}
+	for epoch := 0; epoch < shards; epoch++ {
+		now := sim.Time(float64(epoch) * float64(sim.Hour))
+		owners := make(map[int]int)
+		for i := 0; i < resources; i++ {
+			owners[l.Owner(i, now)]++
+		}
+		if len(owners) != resources {
+			t.Errorf("epoch %d: %d resources owned by %d shards, want one each", epoch, resources, len(owners))
+		}
+		idle := shards - len(owners)
+		if idle != shards-resources {
+			t.Errorf("epoch %d: %d shards hold zero leases, want %d", epoch, idle, shards-resources)
+		}
+	}
+	// Across a full rotation cycle every shard fronts each resource
+	// exactly once.
+	for i := 0; i < resources; i++ {
+		seen := make(map[int]bool)
+		for epoch := 0; epoch < shards; epoch++ {
+			seen[l.Owner(i, sim.Time(float64(epoch)*float64(sim.Hour)))] = true
+		}
+		if len(seen) != shards {
+			t.Errorf("resource %d rotated through %d shards over a full cycle, want %d", i, len(seen), shards)
+		}
+	}
+}
+
+// TestLeaseZeroShardsPanics pins the contract violation: a lease
+// schedule with no shards is a construction bug, and Owner must fail
+// loudly rather than divide by zero or return a junk shard.
+func TestLeaseZeroShardsPanics(t *testing.T) {
+	for _, shards := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Owner with Shards=%d did not panic", shards)
+				}
+			}()
+			Leases{Shards: shards}.Owner(0, 0)
+		}()
+	}
+}
+
+// TestLeaseScheduleSurvivesReconstruction is the crash/recover pin at
+// the schedule level: ownership is a pure function of (resource,
+// virtual time), carried by configuration rather than mutable state,
+// so a shard rebuilt after a crash computes exactly the ownership an
+// uninterrupted twin would — including at and around rotation
+// boundaries that elapsed while it was down.
+func TestLeaseScheduleSurvivesReconstruction(t *testing.T) {
+	const shards = 3
+	term := 2 * sim.Hour
+	uninterrupted := Leases{Shards: shards, Term: term}
+	// "Recovered": a fresh value built from the same durable config.
+	recovered := Leases{Shards: shards, Term: term}
+	boundary := sim.Time(4 * sim.Hour) // two full terms elapsed during the outage
+	probes := []sim.Time{
+		0,
+		boundary.Add(-sim.Second),
+		boundary,
+		boundary.Add(sim.Second),
+		boundary.Add(term),
+	}
+	for i := 0; i < 2*shards; i++ {
+		for _, now := range probes {
+			if a, b := uninterrupted.Owner(i, now), recovered.Owner(i, now); a != b {
+				t.Errorf("Owner(%d, %v): uninterrupted %d, recovered %d", i, now, a, b)
+			}
+		}
+	}
+
+	// A gate rebuilt at recovery time enforces the rotated-away lease:
+	// shard 0 owned resource 0 before the outage, but two rotations
+	// later ownership moved on, so the recovered gate must refuse.
+	eng := sim.NewEngine()
+	eng.ScheduleAt(sim.Time(10*sim.Hour), func() {})
+	eng.RunUntil(boundary.Add(sim.Minute))
+	inner := &fakeLRM{}
+	g := NewGate(inner, eng.Now, func(now sim.Time) bool {
+		return recovered.Owner(0, now) == 0
+	})
+	if err := g.Submit(&lrm.Job{ID: "stale", Work: 1}); err == nil {
+		t.Fatal("recovered gate accepted a submission for a lease that rotated away during the outage")
+	}
+	if inner.submitted != 0 {
+		t.Fatal("refused submission leaked to the resource")
+	}
+}
+
 // fakeLRM is a minimal in-memory resource for gate tests.
 type fakeLRM struct {
 	submitted int

@@ -100,6 +100,7 @@ func Load(dir string) (*State, error) {
 			}
 			return nil, fmt.Errorf("wal: corrupt record mid-log at offset %d: %w", off, err)
 		}
+		frameOff := off
 		off = next
 		if r.Seq <= sinceSeq {
 			// Covered by the snapshot — a crash landed between the
@@ -107,7 +108,7 @@ func Load(dir string) (*State, error) {
 			continue
 		}
 		if r.Seq != st.LastSeq+1 {
-			return nil, fmt.Errorf("wal: sequence gap: record %d follows %d", r.Seq, st.LastSeq)
+			return nil, fmt.Errorf("wal: sequence gap at offset %d: record %d follows %d", frameOff, r.Seq, st.LastSeq)
 		}
 		if snap == nil && len(st.Tail) == 0 {
 			if r.Kind != KindGenesis {

@@ -186,6 +186,10 @@ func TestCorruptMidLogFatal(t *testing.T) {
 	}
 }
 
+// TestSequenceGapFatal pins both the fatality and the exact message of
+// a mid-log sequence gap: the error names the byte offset of the
+// offending frame so an operator can go straight to it with a hex
+// editor instead of rescanning the whole log.
 func TestSequenceGapFatal(t *testing.T) {
 	dir := t.TempDir()
 	lg, err := Create(dir, Options{})
@@ -197,8 +201,23 @@ func TestSequenceGapFatal(t *testing.T) {
 	if err := lg.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "sequence gap") {
-		t.Fatalf("got %v, want sequence-gap error", err)
+	// The offending frame is the second one; its offset is wherever
+	// decoding the genesis frame ends.
+	data, err := os.ReadFile(LogPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gapOff, err := decodeFrame(data, len(magic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir)
+	if err == nil {
+		t.Fatal("Load accepted a log with a sequence gap")
+	}
+	want := fmt.Sprintf("wal: sequence gap at offset %d: record 3 follows 1", gapOff)
+	if err.Error() != want {
+		t.Fatalf("got %q, want %q", err, want)
 	}
 }
 
